@@ -1,0 +1,19 @@
+"""Benchmark: Figure 2.2 — per-query cost profile."""
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import chapter2, reporting
+
+
+def test_fig_2_2_query_costs(benchmark):
+    result = run_once(benchmark, chapter2.figure_2_2_query_costs,
+                      scale=BENCH_SCALE)
+    print()
+    print(reporting.format_table(result["rows"],
+                                 ["query", "cycles_per_second"],
+                                 title="Figure 2.2 — average cycles/s per query",
+                                 float_format="{:.3e}"))
+    costs = result["cycles_per_second"]
+    # Shape check: payload-inspection queries dominate, counters are cheapest.
+    assert costs["p2p-detector"] > costs["counter"]
+    assert costs["pattern-search"] > costs["application"]

@@ -1,0 +1,74 @@
+"""Benchmarks: Chapter 4 — the load shedding system (Table 4.1, Figs 4.1-4.6)."""
+
+import numpy as np
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import chapter4, reporting, scenarios
+
+
+def _bundle(scale=BENCH_SCALE, overload=0.5):
+    trace = scenarios.payload_trace(scale=scale)
+    return chapter4._three_mode_runs(trace, overload, chapter4.CHAPTER4_QUERIES)
+
+
+def test_fig_4_1_cpu_cdf(benchmark):
+    result = run_once(benchmark, chapter4.figure_4_1_cpu_cdf,
+                      scale=BENCH_SCALE, overload=0.5)
+    print()
+    print("Figure 4.1 — probability of exceeding the per-batch CPU limit:",
+          {k: round(v, 3) for k, v in
+           result["probability_exceeding_limit"].items()})
+    assert result["probability_exceeding_limit"]["predictive"] <= \
+        result["probability_exceeding_limit"]["original"]
+
+
+def test_fig_4_2_drops(benchmark):
+    result = run_once(benchmark, chapter4.figure_4_2_drops,
+                      scale=BENCH_SCALE, overload=0.5)
+    print()
+    totals = result["totals"]
+    for mode, stats in totals.items():
+        print(f"Figure 4.2 — {mode}: dropped {stats['dropped_packets']} "
+              f"({stats['drop_fraction']:.1%}), unsampled "
+              f"{stats['unsampled_packets']:.0f}")
+    assert totals["predictive"]["drop_fraction"] < 0.02
+    assert totals["original"]["drop_fraction"] > 0.1
+
+
+def test_table_4_1_accuracy_by_method(benchmark):
+    result = run_once(benchmark, chapter4.table_4_1_accuracy_by_method,
+                      scale=BENCH_SCALE, overload=0.5)
+    print()
+    print(reporting.format_table(result["rows"],
+                                 ["query", "predictive", "original", "reactive"],
+                                 title="Table 4.1 / Figure 4.3 — accuracy error"))
+    print("mean error per method:",
+          {k: round(v, 4) for k, v in result["mean_error"].items()})
+    assert result["mean_error"]["predictive"] < result["mean_error"]["original"]
+
+
+def test_fig_4_4_cpu_usage(benchmark):
+    result = run_once(benchmark, chapter4.figure_4_4_cpu_usage,
+                      scale=BENCH_SCALE, overload=0.5)
+    print()
+    total = result["series"]["total_cycles"]
+    print(f"Figure 4.4 — mean CPU after shedding {total.mean():.3e} vs limit "
+          f"{result['cpu_limit_per_batch']:.3e}; predicted demand "
+          f"{result['series']['predicted_cycles'].mean():.3e}")
+    assert result["dropped_packets"] == 0
+    # Demand exceeds the limit, usage stays near/below it.
+    assert result["series"]["predicted_cycles"].mean() > \
+        total.mean() * 0.9
+
+
+def test_fig_4_5_syn_flood(benchmark):
+    result = run_once(benchmark, chapter4.figure_4_5_syn_flood,
+                      scale=BENCH_SCALE)
+    print()
+    print(f"Figure 4.5/4.6 — flows error with shedding "
+          f"{result['flows_error_with_shedding']:.3f}, without "
+          f"{result['flows_error_without_shedding']:.3f}")
+    assert result["flows_error_with_shedding"] < \
+        result["flows_error_without_shedding"]
+    assert result["dropped_packets_with_shedding"] <= \
+        result["dropped_packets_without_shedding"]

@@ -1,0 +1,80 @@
+"""Benchmarks: Chapter 5 — fairness and Nash equilibrium (Table 5.2, Figs 5.1-5.5)."""
+
+import numpy as np
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import chapter5, reporting
+
+
+def test_fig_5_1_simulation_surface(benchmark):
+    result = run_once(benchmark, chapter5.figure_5_1_simulation_surface)
+    print()
+    print("Figure 5.1 — max advantage of mmfs_pkt over mmfs_cpu "
+          f"(minimum accuracy): {result['minimum_accuracy_difference'].max():.3f}")
+    assert np.all(result["minimum_accuracy_difference"] >= -1e-9)
+    assert result["minimum_accuracy_difference"].max() > 0.1
+
+
+def test_fig_5_2_real_surface(benchmark):
+    result = run_once(benchmark, chapter5.figure_5_2_real_surface,
+                      scale=0.4, min_rates=(0.1, 0.5), overloads=(0.3, 0.6),
+                      n_counters=3)
+    print()
+    print("Figure 5.2 — minimum-accuracy difference (pkt - cpu):")
+    print(result["minimum_accuracy_difference"])
+    assert result["minimum_accuracy_difference"].min() >= -0.15
+
+
+def test_table_5_2_min_srates(benchmark):
+    result = run_once(benchmark, chapter5.table_5_2_min_srates,
+                      scale=BENCH_SCALE)
+    print()
+    print(reporting.format_table(result["rows"],
+                                 ["query", "min_sampling_rate"],
+                                 title="Table 5.2 — minimum sampling rates "
+                                       "(5% target error)"))
+    rows = {row["query"]: row["min_sampling_rate"] for row in result["rows"]}
+    assert rows["counter"] <= rows["top-k"]
+
+
+def test_fig_5_4_strategy_comparison(benchmark):
+    result = run_once(benchmark, chapter5.figure_5_4_strategy_comparison,
+                      scale=0.4, overloads=(0.3, 0.6),
+                      query_names=("application", "counter", "flows",
+                                   "high-watermark", "top-k", "trace"))
+    print()
+    for label in ("no_lshed", "reactive", "eq_srates", "mmfs_cpu", "mmfs_pkt"):
+        print(f"Figure 5.4 — {label}: avg {result['average_accuracy'][label]}"
+              f" min {result['minimum_accuracy'][label]}")
+    # The load shedding systems beat the original system on average accuracy
+    # at every overload level.
+    for index in range(len(result["overloads"])):
+        assert max(result["average_accuracy"]["mmfs_pkt"][index],
+                   result["average_accuracy"]["eq_srates"][index]) >= \
+            result["average_accuracy"]["no_lshed"][index] - 0.05
+
+
+def test_fig_5_5_autofocus_over_time(benchmark):
+    result = run_once(benchmark, chapter5.figure_5_5_autofocus_over_time,
+                      scale=0.4, overload=0.2,
+                      query_names=("autofocus", "counter", "flows", "top-k",
+                                   "trace"))
+    print()
+    print("Figure 5.5 — mean autofocus accuracy per strategy:",
+          {k: round(v, 3) for k, v in result["mean_accuracy"].items()})
+    assert result["mean_accuracy"]["mmfs_pkt"] >= \
+        result["mean_accuracy"]["no_lshed"] - 0.05
+
+
+def test_nash_equilibrium(benchmark):
+    result = run_once(benchmark, chapter5.nash_equilibrium_check,
+                      n_players=4, grid=100)
+    print()
+    print("Theorem 5.1 — equal-share profile is NE:",
+          result["equal_share_is_nash"],
+          "; greedy profile is NE:", result["greedy_profile_is_nash"],
+          "; dynamics converged in", result["dynamics_rounds"], "rounds")
+    assert result["equal_share_is_nash"]
+    assert not result["greedy_profile_is_nash"]
+    assert result["dynamics_converged"]
+    assert result["distance_to_equal_share"] < 0.05

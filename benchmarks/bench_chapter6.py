@@ -1,0 +1,114 @@
+"""Benchmarks: Chapter 6 — custom load shedding (Table 6.2, Figs 6.1-6.14)."""
+
+import numpy as np
+from conftest import BENCH_SCALE, run_once
+
+from repro.experiments import chapter6, reporting
+
+
+def test_fig_6_1_custom_vs_sampling(benchmark):
+    result = run_once(benchmark, chapter6.figure_6_1_custom_vs_sampling,
+                      scale=BENCH_SCALE, overload=0.5)
+    print()
+    print("Figure 6.1/6.2 — p2p-detector error:",
+          {k: round(v, 3) for k, v in result["p2p_error"].items()})
+    assert result["p2p_error"]["custom_shedding"] < \
+        result["p2p_error"]["packet_sampling"]
+
+
+def test_fig_6_3_enforcement_correction(benchmark):
+    result = run_once(benchmark, chapter6.figure_6_3_enforcement_correction,
+                      scale=0.4, overload=0.5)
+    print()
+    print("Figure 6.3 — correction factors: cooperative "
+          f"{result['correction_factor_cooperative']:.2f}, buggy "
+          f"{result['correction_factor_buggy']:.2f}")
+    assert result["correction_factor_buggy"] >= \
+        result["correction_factor_cooperative"]
+
+
+def test_fig_6_4_accuracy_vs_srate(benchmark):
+    result = run_once(benchmark, chapter6.figure_6_4_accuracy_vs_srate,
+                      scale=0.4)
+    print()
+    for query, curve in result["curves"].items():
+        print(f"Figure 6.4 — {query}:",
+              {k: round(v, 2) for k, v in curve.items()})
+    curves = result["curves"]
+    # The P2P detector degrades much faster than the sampling-robust queries.
+    assert curves["p2p-detector"][0.25] < curves["high-watermark"][0.25]
+    assert curves["p2p-detector"][0.25] < curves["top-k"][0.25]
+
+
+def test_fig_6_5_overload_sweep(benchmark):
+    result = run_once(benchmark, chapter6.figure_6_5_overload_sweep,
+                      scale=BENCH_SCALE, overloads=(0.3, 0.6))
+    print()
+    print("Figure 6.5 — average accuracy:", result["average_accuracy"],
+          "minimum accuracy:", result["minimum_accuracy"])
+    assert min(result["average_accuracy"]) > 0.5
+
+
+def test_table_6_2_accuracy_by_query(benchmark):
+    result = run_once(benchmark, chapter6.table_6_2_accuracy_by_query,
+                      scale=BENCH_SCALE, overload=0.5)
+    print()
+    print(reporting.format_table(result["rows"], ["query", "accuracy"],
+                                 title="Table 6.2 — accuracy by query (K=0.5)"))
+
+
+def test_fig_6_6_vs_6_7(benchmark):
+    result = run_once(benchmark, chapter6.figure_6_6_vs_6_7,
+                      scale=BENCH_SCALE, overload=0.5)
+    print()
+    print(f"Figure 6.6/6.7 — minimum accuracy: legacy "
+          f"{result['legacy_minimum']:.3f} vs full {result['full_minimum']:.3f}")
+    assert result["full_minimum"] >= result["legacy_minimum"] - 0.05
+
+
+def test_fig_6_8_ddos(benchmark):
+    result = run_once(benchmark, chapter6.figure_6_8_ddos, scale=0.4,
+                      overload=0.3)
+    print()
+    print(f"Figure 6.8 — DDoS: drop fraction {result['drop_fraction']:.3f}, "
+          f"mean sampling rate {result['mean_sampling_rate']:.2f}")
+    assert result["drop_fraction"] < 0.05
+
+
+def test_fig_6_9_query_arrivals(benchmark):
+    result = run_once(benchmark, chapter6.figure_6_9_query_arrivals,
+                      scale=BENCH_SCALE, overload=0.4)
+    print()
+    print("Figure 6.9 — accuracy with staggered query arrivals:",
+          {k: round(v, 3) for k, v in result["accuracy"].items()})
+    assert result["dropped_packets"] == 0
+
+
+def test_fig_6_10_selfish(benchmark):
+    result = run_once(benchmark, chapter6.figure_6_10_selfish, scale=0.4)
+    print()
+    print(f"Figure 6.10 — selfish query: {result['offender_violations']} "
+          f"violations, disabled {result['offender_disabled_times']} times")
+    assert result["offender_disabled_times"] >= 1
+    assert min(result["well_behaved_accuracy"].values()) > 0.5
+
+
+def test_fig_6_11_buggy(benchmark):
+    result = run_once(benchmark, chapter6.figure_6_11_buggy, scale=0.4)
+    print()
+    print(f"Figure 6.11 — buggy query: correction "
+          f"{result['offender_correction']:.2f}, disabled "
+          f"{result['offender_disabled_times']} times")
+    assert result["offender_violations"] >= 1
+
+
+def test_fig_6_12_online_execution(benchmark):
+    result = run_once(benchmark, chapter6.figure_6_12_online_execution,
+                      scale=0.4, overload=0.5)
+    print()
+    print(f"Figures 6.12-6.14 — overall accuracy "
+          f"{result['overall_accuracy']:.3f}, mean sampling rate "
+          f"{result['mean_sampling_rate']:.2f}, dropped "
+          f"{result['dropped_packets']}")
+    assert result["overall_accuracy"] > 0.5
+    assert result["dropped_packets"] == 0

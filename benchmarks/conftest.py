@@ -1,0 +1,23 @@
+"""Benchmark bootstrap: make ``src/`` importable and share tiny helpers.
+
+Each benchmark regenerates one table or figure of the paper at a reduced
+scale (shorter synthetic traces, coarser sweeps) and prints the reproduced
+rows/series so they can be compared with the paper; see EXPERIMENTS.md.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+#: Scale factor applied to every benchmark workload (1.0 = the default
+#: laptop-sized experiment of the harness).
+BENCH_SCALE = 0.5
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1, warmup_rounds=0)

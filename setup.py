@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that ``python setup.py develop`` keeps working on environments without the
+``wheel`` package or network access (editable PEP 660 installs need to build
+a wheel, the legacy develop command does not).
+"""
+
+from setuptools import setup
+
+if __name__ == "__main__":
+    setup()

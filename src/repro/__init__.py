@@ -1,0 +1,51 @@
+"""repro: a reproduction of "Load Shedding in Network Monitoring Applications".
+
+The package implements the predictive load shedding scheme of Barlet-Ros,
+Iannaccone et al. (USENIX 2007) together with every substrate needed to
+exercise it: a CoMo-like monitoring system, the standard query set, a
+synthetic traffic generator with anomaly injection, and an experiment harness
+that regenerates each table and figure of the paper's evaluation.
+
+Quick start::
+
+    from repro import MonitoringSystem, standard_queries
+    from repro.traffic import load_preset
+
+    trace = load_preset("CESCA-I", seed=1, duration=10.0)
+    system = MonitoringSystem(standard_queries(["counter", "flows", "top-k"]),
+                              mode="predictive", strategy="mmfs_pkt")
+    result = system.run(trace)
+    print(result.drop_fraction, result.mean_sampling_rate())
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-versus-measured comparison of every reproduced experiment.
+"""
+
+from .core import (EWMAPredictor, FeatureExtractor, LoadSheddingController,
+                   MLRPredictor, SLRPredictor)
+from .core.cycles import CycleBudget
+from .monitor import (Batch, ExecutionResult, MonitoringSystem, PacketTrace,
+                      Query)
+from .queries import make_query, standard_queries
+from .traffic import generate_trace, load_preset
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Batch",
+    "CycleBudget",
+    "EWMAPredictor",
+    "ExecutionResult",
+    "FeatureExtractor",
+    "LoadSheddingController",
+    "MLRPredictor",
+    "MonitoringSystem",
+    "PacketTrace",
+    "Query",
+    "SLRPredictor",
+    "__version__",
+    "generate_trace",
+    "load_preset",
+    "make_query",
+    "standard_queries",
+]

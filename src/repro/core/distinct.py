@@ -1,0 +1,181 @@
+"""Distinct-item counting.
+
+The feature extraction stage needs, for every traffic aggregate of Table 3.1,
+the number of *unique* items in a batch and the number of *new* items with
+respect to the current measurement interval.  The paper uses the
+multi-resolution bitmap algorithm of Estan, Varghese and Fisk because it has
+a deterministic, small per-packet cost and a bounded memory footprint; we
+implement the same structure (:class:`MultiResolutionBitmap`) plus an exact
+counter (:class:`ExactDistinctCounter`) used as ground truth in tests and as
+an optional extraction backend.
+
+Both counters share a small interface:
+
+``add_hashes(hashes)``      register an array of 64-bit item hashes
+``estimate()``              estimated number of distinct items added so far
+``merge(other)``            in-place union with another counter
+``copy() / reset()``        bookkeeping helpers
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+
+class DistinctCounter:
+    """Interface shared by the distinct-counting backends."""
+
+    def add_hashes(self, hashes: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def estimate(self) -> float:
+        raise NotImplementedError
+
+    def merge(self, other: "DistinctCounter") -> None:
+        raise NotImplementedError
+
+    def copy(self) -> "DistinctCounter":
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        raise NotImplementedError
+
+
+class ExactDistinctCounter(DistinctCounter):
+    """Exact distinct counting over 64-bit item hashes (hash collisions are
+    negligible for the cardinalities involved)."""
+
+    def __init__(self) -> None:
+        self._items: set = set()
+
+    def add_hashes(self, hashes: np.ndarray) -> None:
+        if len(hashes) == 0:
+            return
+        self._items.update(np.unique(hashes).tolist())
+
+    def estimate(self) -> float:
+        return float(len(self._items))
+
+    def merge(self, other: "ExactDistinctCounter") -> None:
+        self._items |= other._items
+
+    def copy(self) -> "ExactDistinctCounter":
+        clone = ExactDistinctCounter()
+        clone._items = set(self._items)
+        return clone
+
+    def reset(self) -> None:
+        self._items.clear()
+
+
+class MultiResolutionBitmap(DistinctCounter):
+    """Multi-resolution bitmap distinct counter.
+
+    The hash space ``[0, 1)`` is split into ``num_components`` geometrically
+    shrinking slices; component ``i`` covers a fraction ``2^-(i+1)`` of the
+    space (the last component covers the remaining tail).  Each component is
+    a plain linear-counting bitmap of ``bits_per_component`` bits.  The
+    estimator picks the lowest-resolution *base* component that is not
+    saturated and scales the linear-counting estimates of the base and all
+    finer... coarser components by the fraction of hash space they cover.
+
+    With the default dimensioning (8 components of 4096 bits) the estimation
+    error stays around 1% for cardinalities up to several hundred thousand,
+    matching the dimensioning reported in Section 3.2.1.
+    """
+
+    #: A component is considered saturated once this fraction of bits is set.
+    SATURATION = 0.93
+
+    def __init__(self, num_components: int = 8, bits_per_component: int = 4096,
+                 ) -> None:
+        if num_components < 1:
+            raise ValueError("num_components must be >= 1")
+        if bits_per_component < 8:
+            raise ValueError("bits_per_component must be >= 8")
+        self.num_components = num_components
+        self.bits_per_component = bits_per_component
+        self._bits = np.zeros((num_components, bits_per_component), dtype=bool)
+        # Fraction of the hash space covered by each component.
+        coverage = [2.0 ** -(i + 1) for i in range(num_components - 1)]
+        coverage.append(2.0 ** -(num_components - 1))
+        self._coverage = np.array(coverage)
+
+    # ------------------------------------------------------------------
+    def _component_of(self, unit: np.ndarray) -> np.ndarray:
+        """Component index for hash values mapped to [0, 1)."""
+        # Component i covers [1 - 2^-i, 1 - 2^-(i+1)); the last component
+        # absorbs the tail.  -log2(1 - v) gives the index directly.
+        with np.errstate(divide="ignore"):
+            idx = np.floor(-np.log2(np.clip(1.0 - unit, 1e-300, 1.0)))
+        return np.minimum(idx.astype(np.int64), self.num_components - 1)
+
+    def add_hashes(self, hashes: np.ndarray) -> None:
+        if len(hashes) == 0:
+            return
+        hashes = np.asarray(hashes, dtype=np.uint64)
+        unit = hashes.astype(np.float64) / float(2 ** 64)
+        comp = self._component_of(unit)
+        # Use independent bits of the hash for the within-component position
+        # so the position is not correlated with the component choice.
+        position = (hashes & np.uint64(0xFFFFFFFF)).astype(np.int64) \
+            % self.bits_per_component
+        self._bits[comp, position] = True
+
+    def _component_estimates(self) -> np.ndarray:
+        """Per-component linear-counting estimates."""
+        b = float(self.bits_per_component)
+        set_bits = self._bits.sum(axis=1).astype(np.float64)
+        # Linear counting: n ~= -b * ln(unset / b); saturated components
+        # (all bits set) get an effectively infinite estimate.
+        unset = np.maximum(b - set_bits, 0.5)
+        return -b * np.log(unset / b)
+
+    def estimate(self) -> float:
+        estimates = self._component_estimates()
+        fill = self._bits.mean(axis=1)
+        # Base component: the first (coarsest-coverage) component that is not
+        # saturated; all components from it onwards are usable.
+        usable = np.flatnonzero(fill < self.SATURATION)
+        if len(usable) == 0:
+            base = self.num_components - 1
+        else:
+            base = int(usable[0])
+        covered = self._coverage[base:].sum()
+        return float(estimates[base:].sum() / covered)
+
+    def merge(self, other: "MultiResolutionBitmap") -> None:
+        if (other.num_components != self.num_components or
+                other.bits_per_component != self.bits_per_component):
+            raise ValueError("cannot merge bitmaps with different geometry")
+        self._bits |= other._bits
+
+    def copy(self) -> "MultiResolutionBitmap":
+        clone = MultiResolutionBitmap(self.num_components,
+                                      self.bits_per_component)
+        clone._bits = self._bits.copy()
+        return clone
+
+    def reset(self) -> None:
+        self._bits[:] = False
+
+    @property
+    def memory_bits(self) -> int:
+        """Total number of bits of state (for overhead reporting)."""
+        return self.num_components * self.bits_per_component
+
+
+def make_counter(method: str = "bitmap", **kwargs) -> DistinctCounter:
+    """Factory for distinct counters.
+
+    ``method`` is ``"bitmap"`` (multi-resolution bitmap, the paper's choice)
+    or ``"exact"``.
+    """
+    if method == "bitmap":
+        return MultiResolutionBitmap(**kwargs)
+    if method == "exact":
+        return ExactDistinctCounter()
+    raise ValueError(f"unknown distinct-counting method {method!r}")

@@ -1,0 +1,221 @@
+"""Load shedding strategies: where to shed and how much per query (Chapter 5).
+
+Given the predicted cycle demand of each query, its minimum sampling rate
+constraint ``m_q`` and the cycle capacity of the current time bin, a strategy
+returns the sampling rate to apply to each query.  Three strategies from the
+paper are implemented:
+
+* ``eq_srates``  — the Chapter 4 baseline: one common sampling rate for all
+  queries; queries whose minimum constraint cannot be met are disabled for
+  the bin and the rate is recomputed for the survivors.
+* ``mmfs_cpu``   — max-min fair share of the CPU cycles, with per-query
+  floors ``m_q * d_q`` and ceilings ``d_q``.
+* ``mmfs_pkt``   — max-min fair share of *packet access*: the sampling rates
+  themselves are equalised (floors ``m_q``, ceiling 1), weighting each query
+  by its cycle demand when charging the capacity.
+
+When even the minimum demands do not fit, all strategies disable the queries
+with the largest minimum demand first (Section 5.2.1), which is the rule that
+gives the game its Nash equilibrium at ``C / |Q|``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+
+@dataclass
+class QueryDemand:
+    """Per-query inputs to the allocation strategies."""
+
+    name: str
+    predicted_cycles: float
+    min_sampling_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.predicted_cycles < 0:
+            raise ValueError("predicted_cycles must be non-negative")
+        if not 0.0 <= self.min_sampling_rate <= 1.0:
+            raise ValueError("min_sampling_rate must be in [0, 1]")
+
+    @property
+    def min_cycles(self) -> float:
+        """Minimum cycle demand ``m_q * d_q``."""
+        return self.min_sampling_rate * self.predicted_cycles
+
+
+@dataclass
+class Allocation:
+    """Result of an allocation strategy for one time bin."""
+
+    rates: Dict[str, float] = field(default_factory=dict)
+    cycles: Dict[str, float] = field(default_factory=dict)
+    disabled: List[str] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> float:
+        return float(sum(self.cycles.values()))
+
+    def rate(self, name: str) -> float:
+        return self.rates.get(name, 0.0)
+
+
+#: Signature of an allocation strategy.
+Strategy = Callable[[Sequence[QueryDemand], float], Allocation]
+
+
+def _disable_largest_min_demands(demands: Sequence[QueryDemand],
+                                 capacity: float) -> List[QueryDemand]:
+    """Disable queries (largest ``m_q * d_q`` first) until the minimums fit."""
+    active = sorted(demands, key=lambda d: (d.min_cycles, d.name))
+    while active and sum(d.min_cycles for d in active) > capacity:
+        active.pop()  # the query with the largest minimum demand
+    return active
+
+
+def _water_fill(floors: np.ndarray, ceilings: np.ndarray, weights: np.ndarray,
+                capacity: float, tolerance: float = 1e-9) -> np.ndarray:
+    """Max-min fair allocation with floors and ceilings.
+
+    Finds the water level ``L`` such that ``x_i = clip(L, floor_i, ceil_i)``
+    and ``sum(weights_i * x_i) == capacity`` (or every ``x_i`` is at its
+    ceiling when capacity is abundant).  This is the unique max-min fair
+    vector subject to the box constraints, the same solution produced by the
+    progressive-filling algorithm of Section 5.2.3.
+    """
+    floors = np.asarray(floors, dtype=np.float64)
+    ceilings = np.asarray(ceilings, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if np.any(ceilings < floors - tolerance):
+        raise ValueError("every ceiling must be at least its floor")
+    min_total = float((weights * floors).sum())
+    max_total = float((weights * ceilings).sum())
+    if capacity >= max_total:
+        return ceilings.copy()
+    if capacity <= min_total:
+        return floors.copy()
+    lo, hi = float(floors.min()), float(ceilings.max())
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        used = float((weights * np.clip(mid, floors, ceilings)).sum())
+        if used > capacity:
+            hi = mid
+        else:
+            lo = mid
+        if hi - lo < tolerance * max(1.0, hi):
+            break
+    return np.clip(lo, floors, ceilings)
+
+
+def eq_srates(demands: Sequence[QueryDemand], capacity: float) -> Allocation:
+    """Single common sampling rate for every query (Chapter 4 strategy).
+
+    The rate is ``capacity / total_demand`` clamped to ``[0, 1]``.  Queries
+    whose minimum sampling rate exceeds the common rate are disabled for the
+    bin and the rate is recomputed for the remaining ones, as in the
+    ``eq_srates`` system of Section 5.5.3.
+    """
+    allocation = Allocation()
+    active = list(demands)
+    if capacity <= 0.0:
+        allocation.disabled = [d.name for d in demands]
+        allocation.rates = {d.name: 0.0 for d in demands}
+        allocation.cycles = {d.name: 0.0 for d in demands}
+        return allocation
+    while True:
+        total = sum(d.predicted_cycles for d in active)
+        rate = 1.0 if total <= 0 else min(1.0, capacity / total)
+        # Disable the most constrained query that cannot live with the rate.
+        violators = [d for d in active if d.min_sampling_rate > rate + 1e-12]
+        if not violators:
+            break
+        worst = max(violators, key=lambda d: (d.min_cycles, d.name))
+        active.remove(worst)
+        if not active:
+            rate = 0.0
+            break
+    active_names = {d.name for d in active}
+    for demand in demands:
+        if demand.name in active_names:
+            allocation.rates[demand.name] = rate
+            allocation.cycles[demand.name] = rate * demand.predicted_cycles
+        else:
+            allocation.rates[demand.name] = 0.0
+            allocation.cycles[demand.name] = 0.0
+            allocation.disabled.append(demand.name)
+    return allocation
+
+
+def mmfs_cpu(demands: Sequence[QueryDemand], capacity: float) -> Allocation:
+    """Max-min fair share in terms of CPU cycles (Section 5.2.1)."""
+    return _mmfs(demands, capacity, packet_fair=False)
+
+
+def mmfs_pkt(demands: Sequence[QueryDemand], capacity: float) -> Allocation:
+    """Max-min fair share in terms of packet access (Section 5.2.2)."""
+    return _mmfs(demands, capacity, packet_fair=True)
+
+
+def _mmfs(demands: Sequence[QueryDemand], capacity: float,
+          packet_fair: bool) -> Allocation:
+    allocation = Allocation()
+    if capacity <= 0.0:
+        allocation.disabled = [d.name for d in demands]
+        allocation.rates = {d.name: 0.0 for d in demands}
+        allocation.cycles = {d.name: 0.0 for d in demands}
+        return allocation
+    active = _disable_largest_min_demands(demands, capacity)
+    active_names = {d.name for d in active}
+    rates: Dict[str, float] = {}
+    if active:
+        pred = np.array([d.predicted_cycles for d in active])
+        mins = np.array([d.min_sampling_rate for d in active])
+        if packet_fair:
+            # Equalise sampling rates; a query's rate consumes cycles in
+            # proportion to its predicted demand.
+            levels = _water_fill(floors=mins, ceilings=np.ones(len(active)),
+                                 weights=pred, capacity=capacity)
+            for demand, rate in zip(active, levels):
+                rates[demand.name] = float(rate)
+        else:
+            # Equalise allocated cycles between floors m_q*d_q and ceilings d_q.
+            floors = mins * pred
+            levels = _water_fill(floors=floors, ceilings=pred,
+                                 weights=np.ones(len(active)),
+                                 capacity=capacity)
+            for demand, cycles in zip(active, levels):
+                rate = 1.0 if demand.predicted_cycles <= 0 else \
+                    min(1.0, cycles / demand.predicted_cycles)
+                rates[demand.name] = float(rate)
+    for demand in demands:
+        if demand.name in active_names:
+            rate = rates[demand.name]
+            allocation.rates[demand.name] = rate
+            allocation.cycles[demand.name] = rate * demand.predicted_cycles
+        else:
+            allocation.rates[demand.name] = 0.0
+            allocation.cycles[demand.name] = 0.0
+            allocation.disabled.append(demand.name)
+    return allocation
+
+
+#: Registry of the named strategies used throughout experiments.
+STRATEGIES: Dict[str, Strategy] = {
+    "eq_srates": eq_srates,
+    "mmfs_cpu": mmfs_cpu,
+    "mmfs_pkt": mmfs_pkt,
+}
+
+
+def get_strategy(name_or_fn) -> Strategy:
+    """Resolve a strategy by name or pass a callable through unchanged."""
+    if callable(name_or_fn):
+        return name_or_fn
+    try:
+        return STRATEGIES[name_or_fn]
+    except KeyError:
+        raise KeyError(f"unknown strategy {name_or_fn!r}; "
+                       f"available: {sorted(STRATEGIES)}") from None

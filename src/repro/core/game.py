@@ -1,0 +1,157 @@
+"""Game-theoretic model of the resource allocation strategy (Section 5.3).
+
+The load shedding strategy of Chapter 5 is modelled as a strategic game in
+which each query is a player whose action is its *minimum cycle demand*
+``a_q = m_q * d_q`` and whose payoff is the number of cycles the system ends
+up allocating to it (Equation 5.7):
+
+* if the sum of all minimum demands no larger than ``a_q`` exceeds the
+  capacity ``C``, the query is disabled and its payoff is 0 (the system
+  always disables the queries with the largest minimum demands first);
+* otherwise the query receives its minimum demand plus a max-min fair share
+  of the spare cycles left after satisfying every active query.
+
+Theorem 5.1 states that the game has a single Nash equilibrium in which every
+player demands exactly ``C / |Q|``.  This module provides the payoff
+function, numeric best responses, best-response dynamics and an equilibrium
+checker used to verify the theorem empirically.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def active_players(actions: Sequence[float], capacity: float) -> np.ndarray:
+    """Boolean mask of players whose minimum demand the system satisfies.
+
+    Player ``q`` is active iff the total of every demand less than or equal
+    to ``a_q`` (including its own) fits within the capacity; this encodes the
+    "disable the largest minimum demands first" policy.
+    """
+    actions = np.asarray(actions, dtype=np.float64)
+    order = np.argsort(actions, kind="stable")
+    cumulative = np.cumsum(actions[order])
+    active_sorted = cumulative <= capacity + 1e-9
+    active = np.zeros(len(actions), dtype=bool)
+    active[order] = active_sorted
+    return active
+
+
+def payoffs(actions: Sequence[float], capacity: float) -> np.ndarray:
+    """Payoff of every player for the action profile ``actions`` (Eq. 5.7).
+
+    Active players receive their demand plus an equal (max-min fair, with no
+    ceilings) share of the spare capacity; disabled players receive zero.
+    """
+    actions = np.asarray(actions, dtype=np.float64)
+    if np.any(actions < 0):
+        raise ValueError("demands must be non-negative")
+    result = np.zeros(len(actions), dtype=np.float64)
+    active = active_players(actions, capacity)
+    if not active.any():
+        return result
+    spare = capacity - actions[active].sum()
+    share = max(spare, 0.0) / active.sum()
+    result[active] = actions[active] + share
+    return result
+
+
+def payoff_of(player: int, action: float, others: Sequence[float],
+              capacity: float) -> float:
+    """Payoff of ``player`` when it deviates to ``action``.
+
+    ``others`` contains the actions of the remaining players in order; the
+    player's action is inserted back at ``player``'s index.
+    """
+    profile = list(others)
+    profile.insert(player, action)
+    return float(payoffs(profile, capacity)[player])
+
+
+def best_response(player: int, others: Sequence[float], capacity: float,
+                  grid: int = 2000) -> Tuple[float, float]:
+    """Numeric best response of ``player`` to the other players' actions.
+
+    Searches a uniform grid over ``[0, capacity]`` plus the strategically
+    relevant boundary points and returns ``(best_action, best_payoff)``.
+    """
+    candidates = np.linspace(0.0, capacity, grid + 1)
+    # Boundary candidates: slightly below the capacity left by the others and
+    # the equal-share point, where the payoff is discontinuous.
+    others_arr = np.asarray(list(others), dtype=np.float64)
+    n = len(others_arr) + 1
+    extra = [max(0.0, capacity - others_arr.sum()), capacity / n]
+    candidates = np.concatenate([candidates, np.asarray(extra)])
+    best_action, best_value = 0.0, -np.inf
+    for action in candidates:
+        value = payoff_of(player, float(action), others, capacity)
+        if value > best_value + 1e-12:
+            best_value = value
+            best_action = float(action)
+    return best_action, float(best_value)
+
+
+def is_nash_equilibrium(actions: Sequence[float], capacity: float,
+                        grid: int = 2000, tolerance: float = 1e-6) -> bool:
+    """Check that no player can gain more than ``tolerance`` by deviating."""
+    actions = list(actions)
+    current = payoffs(actions, capacity)
+    for player in range(len(actions)):
+        others = actions[:player] + actions[player + 1:]
+        _, best_value = best_response(player, others, capacity, grid=grid)
+        if best_value > current[player] + tolerance * max(1.0, capacity):
+            return False
+    return True
+
+
+def best_response_dynamics(
+    initial_actions: Sequence[float],
+    capacity: float,
+    max_rounds: int = 100,
+    grid: int = 2000,
+    tolerance: float = 1e-6,
+) -> Tuple[np.ndarray, int, bool]:
+    """Iterate best responses until the profile stops changing.
+
+    Returns ``(final_actions, rounds_used, converged)``.  Starting from any
+    profile, the dynamics converge to the unique equilibrium where every
+    player demands ``capacity / n`` (Theorem 5.1).
+    """
+    actions = [float(a) for a in initial_actions]
+    for round_index in range(1, max_rounds + 1):
+        changed = False
+        for player in range(len(actions)):
+            others = actions[:player] + actions[player + 1:]
+            best_action, best_value = best_response(player, others, capacity,
+                                                    grid=grid)
+            current_value = payoff_of(player, actions[player], others, capacity)
+            if best_value > current_value + tolerance * max(1.0, capacity):
+                actions[player] = best_action
+                changed = True
+        if not changed:
+            return np.asarray(actions), round_index, True
+    return np.asarray(actions), max_rounds, False
+
+
+def equilibrium_profile(n_players: int, capacity: float) -> np.ndarray:
+    """The unique Nash equilibrium profile: every player demands ``C / n``."""
+    if n_players <= 0:
+        raise ValueError("n_players must be positive")
+    return np.full(n_players, capacity / n_players, dtype=np.float64)
+
+
+def aggregate_utility_equilibrium(n_players: int, capacity: float
+                                  ) -> np.ndarray:
+    """Equilibrium of an Aurora-style utility-maximising allocator.
+
+    For contrast with our strategy (Section 5.3, last paragraph): when the
+    system maximises the sum of utilities, every player's dominant strategy
+    is to claim the full capacity ("my utility drops to zero below sampling
+    rate 1"), i.e. to lie about its requirements.
+    """
+    if n_players <= 0:
+        raise ValueError("n_players must be positive")
+    return np.full(n_players, float(capacity), dtype=np.float64)

@@ -1,0 +1,145 @@
+"""Linear regression machinery (Section 3.2.2).
+
+The prediction subsystem models the CPU usage of a query as a linear function
+of a subset of the traffic features.  The coefficients are estimated with
+ordinary least squares computed through the singular value decomposition,
+exactly as in the paper (SVD handles over- and under-determined systems and
+near-collinear predictors gracefully).
+
+Two thin wrappers are provided on top of the solver:
+
+* :class:`MultipleLinearRegression` — fit on ``n`` past observations of ``p``
+  predictors (plus an intercept) and predict the response for new batches;
+* :class:`SlidingHistory` — the fixed-length history of
+  ``(feature vector, measured cycles)`` pairs the regressions are fitted on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def ols_svd(design: np.ndarray, response: np.ndarray,
+            rcond: float = 1e-10) -> np.ndarray:
+    """Ordinary least squares via singular value decomposition.
+
+    Returns the coefficient vector ``b`` minimising ``||design @ b - response||``.
+    Singular values below ``rcond`` times the largest are treated as zero,
+    which keeps the solution stable when predictors are collinear.
+    """
+    design = np.asarray(design, dtype=np.float64)
+    response = np.asarray(response, dtype=np.float64)
+    if design.ndim != 2:
+        raise ValueError("design matrix must be 2-D")
+    if len(design) != len(response):
+        raise ValueError("design and response must have the same length")
+    u, s, vt = np.linalg.svd(design, full_matrices=False)
+    cutoff = rcond * (s[0] if len(s) else 0.0)
+    s_inv = np.where(s > cutoff, 1.0 / np.where(s > 0, s, 1.0), 0.0)
+    return vt.T @ (s_inv * (u.T @ response))
+
+
+class MultipleLinearRegression:
+    """Multiple linear regression with an intercept term.
+
+    ``fit`` estimates the coefficients from observations; ``predict`` applies
+    them to new predictor vectors.  With a single predictor this degenerates
+    to the paper's SLR baseline.
+    """
+
+    def __init__(self) -> None:
+        self.intercept_: float = 0.0
+        self.coefficients_: Optional[np.ndarray] = None
+
+    @property
+    def is_fitted(self) -> bool:
+        return self.coefficients_ is not None
+
+    def fit(self, predictors: np.ndarray, response: np.ndarray
+            ) -> "MultipleLinearRegression":
+        """Fit on an ``(n, p)`` predictor matrix and length-``n`` response."""
+        predictors = np.atleast_2d(np.asarray(predictors, dtype=np.float64))
+        response = np.asarray(response, dtype=np.float64)
+        n = len(response)
+        if predictors.shape[0] != n:
+            raise ValueError("predictors and response must have equal length")
+        design = np.column_stack([np.ones(n), predictors])
+        coefficients = ols_svd(design, response)
+        self.intercept_ = float(coefficients[0])
+        self.coefficients_ = coefficients[1:]
+        return self
+
+    def predict(self, predictors: np.ndarray) -> np.ndarray:
+        """Predict responses for an ``(m, p)`` matrix (or a single vector)."""
+        if not self.is_fitted:
+            raise RuntimeError("regression model has not been fitted")
+        predictors = np.asarray(predictors, dtype=np.float64)
+        single = predictors.ndim == 1
+        matrix = np.atleast_2d(predictors)
+        result = self.intercept_ + matrix @ self.coefficients_
+        return float(result[0]) if single else result
+
+    def residuals(self, predictors: np.ndarray,
+                  response: np.ndarray) -> np.ndarray:
+        """Fitted-minus-actual residuals over a set of observations."""
+        return np.atleast_1d(self.predict(predictors)) - np.asarray(response)
+
+
+class SlidingHistory:
+    """Fixed-length history of (features, cycles) observations.
+
+    The history length ``n`` is the "amount of history" parameter studied in
+    Section 3.3.1 (60 batches, i.e. 6 s, by default).  Observations corrupted
+    by context switches are replaced by their predicted value through
+    :meth:`replace_last`, as described in Section 4.4.
+    """
+
+    def __init__(self, length: int = 60) -> None:
+        if length < 2:
+            raise ValueError("history length must be >= 2")
+        self.length = length
+        self._features: Deque[np.ndarray] = deque(maxlen=length)
+        self._cycles: Deque[float] = deque(maxlen=length)
+
+    def __len__(self) -> int:
+        return len(self._cycles)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self) == self.length
+
+    def append(self, features: np.ndarray, cycles: float) -> None:
+        self._features.append(np.asarray(features, dtype=np.float64))
+        self._cycles.append(float(cycles))
+
+    def replace_last(self, cycles: float) -> None:
+        """Replace the response of the most recent observation."""
+        if not self._cycles:
+            raise IndexError("history is empty")
+        self._cycles[-1] = float(cycles)
+
+    def feature_matrix(self, indices: Optional[Sequence[int]] = None
+                       ) -> np.ndarray:
+        """Return the stored feature vectors as an ``(n, p)`` matrix.
+
+        ``indices`` optionally selects a subset of feature columns.
+        """
+        matrix = np.vstack(self._features) if self._features else \
+            np.empty((0, 0))
+        if indices is not None and matrix.size:
+            matrix = matrix[:, list(indices)]
+        return matrix
+
+    def responses(self) -> np.ndarray:
+        return np.array(self._cycles, dtype=np.float64)
+
+    def clear(self) -> None:
+        self._features.clear()
+        self._cycles.clear()
+
+    def observations(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The full (features, cycles) history as arrays."""
+        return self.feature_matrix(), self.responses()

@@ -1,0 +1,120 @@
+"""Load shedding mechanisms: packet and flow sampling (Section 4.2).
+
+Two data-reduction mechanisms are supported, selected per query at
+configuration time:
+
+* *Packet sampling* — every packet of the batch is kept independently with
+  probability ``p`` (the sampling rate).
+* *Flowwise flow sampling* — entire 5-tuple flows are kept with probability
+  ``p`` using a hash-based selection (no per-flow state): a packet is kept
+  when ``h(5-tuple) <= p`` for an H3 hash ``h`` drawn afresh every
+  measurement interval, so selection cannot be predicted or evaded.
+
+Both mechanisms are unbiased: scaling additive per-packet (respectively
+per-flow) statistics by ``1 / p`` recovers the unsampled value in
+expectation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from .hashing import H3Hash, combine_columns
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
+    from ..monitor.packet import Batch
+
+#: Cycle cost charged per packet touched by the samplers; part of the
+#: ``ls_cycles`` overhead tracked by Algorithm 1.
+SAMPLING_CYCLES_PER_PACKET = 8.0
+SAMPLING_CYCLES_FIXED = 500.0
+
+
+class PacketSampler:
+    """Uniform random packet sampling."""
+
+    def __init__(self, rng: Optional[np.random.Generator] = None) -> None:
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def sample(self, batch: "Batch", rate: float) -> "Batch":
+        """Return a new batch with each packet kept with probability ``rate``."""
+        rate = _validate_rate(rate)
+        if rate >= 1.0 or len(batch) == 0:
+            return batch
+        if rate <= 0.0:
+            return batch.select(np.zeros(len(batch), dtype=bool))
+        keep = self._rng.random(len(batch)) < rate
+        return batch.select(keep)
+
+    def cost(self, batch: "Batch") -> float:
+        """Simulated cycle cost of sampling ``batch``."""
+        return SAMPLING_CYCLES_FIXED + SAMPLING_CYCLES_PER_PACKET * len(batch)
+
+
+class FlowSampler:
+    """Hash-based ("flowwise") flow sampling.
+
+    A packet is kept when the H3 hash of its 5-tuple, mapped to ``[0, 1)``,
+    is below the sampling rate; all packets of a flow therefore share the
+    same fate.  The hash function is re-drawn at every measurement-interval
+    boundary (:meth:`renew_hash`).
+    """
+
+    def __init__(self, rng: Optional[np.random.Generator] = None,
+                 measurement_interval: float = 1.0) -> None:
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.measurement_interval = float(measurement_interval)
+        self._hash = H3Hash(rng=self._rng)
+        self._interval_start: Optional[float] = None
+
+    def renew_hash(self) -> None:
+        """Draw a fresh H3 hash function (called every measurement interval)."""
+        self._hash = H3Hash(rng=self._rng)
+
+    def _maybe_renew(self, batch_start: float) -> None:
+        if self._interval_start is None:
+            self._interval_start = batch_start
+            return
+        if batch_start - self._interval_start >= self.measurement_interval:
+            elapsed = batch_start - self._interval_start
+            steps = int(elapsed // self.measurement_interval)
+            self._interval_start += steps * self.measurement_interval
+            self.renew_hash()
+
+    def sample(self, batch: "Batch", rate: float) -> "Batch":
+        """Return the sub-batch whose flows hash below ``rate``."""
+        rate = _validate_rate(rate)
+        self._maybe_renew(batch.start_ts)
+        if rate >= 1.0 or len(batch) == 0:
+            return batch
+        if rate <= 0.0:
+            return batch.select(np.zeros(len(batch), dtype=bool))
+        keys = combine_columns(batch.columns(
+            ("src_ip", "dst_ip", "src_port", "dst_port", "proto")))
+        keep = self._hash.unit_interval(keys) < rate
+        return batch.select(keep)
+
+    def cost(self, batch: "Batch") -> float:
+        """Simulated cycle cost of sampling ``batch``."""
+        return SAMPLING_CYCLES_FIXED + SAMPLING_CYCLES_PER_PACKET * len(batch)
+
+
+def _validate_rate(rate: float) -> float:
+    if not np.isfinite(rate):
+        raise ValueError("sampling rate must be finite")
+    return float(min(max(rate, 0.0), 1.0))
+
+
+def scale_estimate(value: float, sampling_rate: float) -> float:
+    """Estimate an unsampled additive statistic from its sampled value.
+
+    This is the correction applied by the sampling-robust queries: multiply
+    by the inverse of the sampling rate (Section 2.2).  A rate of zero means
+    nothing was observed; the estimate is then zero.
+    """
+    rate = _validate_rate(sampling_rate)
+    if rate <= 0.0:
+        return 0.0
+    return float(value) / rate

@@ -1,0 +1,20 @@
+"""Experiment harness: one function per table and figure of the evaluation.
+
+The mapping between the paper's tables/figures, the functions here and the
+benchmark targets lives in ``DESIGN.md`` (Section 4); measured-versus-paper
+results are recorded in ``EXPERIMENTS.md``.
+"""
+
+from . import (chapter2, chapter3, chapter4, chapter5, chapter6, reporting,
+               runner, scenarios)
+
+__all__ = [
+    "chapter2",
+    "chapter3",
+    "chapter4",
+    "chapter5",
+    "chapter6",
+    "reporting",
+    "runner",
+    "scenarios",
+]

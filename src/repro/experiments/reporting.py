@@ -1,0 +1,65 @@
+"""Plain-text rendering of experiment results.
+
+The harness functions return dictionaries of rows and series; these helpers
+turn them into the aligned text tables printed by the benchmarks and the
+examples, so the reproduced numbers can be eyeballed next to the paper's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Sequence
+
+import numpy as np
+
+
+def format_table(rows: Sequence[Mapping[str, object]],
+                 columns: Sequence[str], title: str = "",
+                 float_format: str = "{:.4f}") -> str:
+    """Render a list of row dictionaries as an aligned text table."""
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    header = [str(c) for c in columns]
+    body = [[cell(row.get(c, "")) for c in columns] for row in rows]
+    widths = [max(len(header[i]), *(len(r[i]) for r in body)) if body
+              else len(header[i]) for i in range(len(columns))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(series: Mapping[str, Iterable[float]], title: str = "",
+                  max_points: int = 20) -> str:
+    """Render named numeric series, downsampled to ``max_points`` values."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for name, values in series.items():
+        arr = np.asarray(list(values), dtype=np.float64)
+        if len(arr) > max_points:
+            idx = np.linspace(0, len(arr) - 1, max_points).astype(int)
+            arr = arr[idx]
+        rendered = " ".join(f"{v:.3g}" for v in arr)
+        lines.append(f"{name:>24}: {rendered}")
+    return "\n".join(lines)
+
+
+def summarize_distribution(values: Iterable[float]) -> Dict[str, float]:
+    """Mean / std / percentiles summary used in several tables."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if arr.size == 0:
+        return {"mean": 0.0, "std": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+    return {
+        "mean": float(arr.mean()),
+        "std": float(arr.std()),
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+        "max": float(arr.max()),
+    }

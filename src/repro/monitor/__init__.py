@@ -1,0 +1,32 @@
+"""Monitoring-system substrate: packets, filters, queries, capture, metrics."""
+
+from . import filters, metrics
+from .capture import BufferStatus, CaptureBuffer
+from .packet import (PROTO_ICMP, PROTO_TCP, PROTO_UDP, Batch, Packet,
+                     PacketTrace, format_ip, ip)
+from .query import (SAMPLING_CUSTOM, SAMPLING_FLOW, SAMPLING_PACKET, Query,
+                    QueryResultLog)
+from .system import (BinRecord, ExecutionResult, MonitoringSystem)
+
+__all__ = [
+    "Batch",
+    "BinRecord",
+    "BufferStatus",
+    "CaptureBuffer",
+    "ExecutionResult",
+    "MonitoringSystem",
+    "PROTO_ICMP",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "Packet",
+    "PacketTrace",
+    "Query",
+    "QueryResultLog",
+    "SAMPLING_CUSTOM",
+    "SAMPLING_FLOW",
+    "SAMPLING_PACKET",
+    "filters",
+    "format_ip",
+    "ip",
+    "metrics",
+]

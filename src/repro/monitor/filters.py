@@ -1,0 +1,143 @@
+"""Stateless packet filters.
+
+Each CoMo query registers a stateless filter applied by the capture process to
+the incoming packet stream before the query sees any packet.  Filters here are
+small composable predicates that operate on whole batches (vectorised) and
+return boolean masks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+import numpy as np
+
+from .packet import Batch
+
+#: A filter maps a batch to a per-packet boolean mask.
+FilterFn = Callable[[Batch], np.ndarray]
+
+
+class Filter:
+    """A named, composable stateless packet filter.
+
+    Filters compose with ``&`` (both must match), ``|`` (either matches) and
+    ``~`` (negation), mirroring BPF expression composition.
+    """
+
+    def __init__(self, fn: FilterFn, name: str = "filter") -> None:
+        self._fn = fn
+        self.name = name
+
+    def __call__(self, batch: Batch) -> np.ndarray:
+        mask = np.asarray(self._fn(batch), dtype=bool)
+        if mask.shape != (len(batch),):
+            raise ValueError(
+                f"filter {self.name!r} returned mask of shape {mask.shape}, "
+                f"expected ({len(batch)},)")
+        return mask
+
+    def apply(self, batch: Batch) -> Batch:
+        """Return the sub-batch of packets matching the filter."""
+        if len(batch) == 0:
+            return batch
+        return batch.select(self(batch))
+
+    def __and__(self, other: "Filter") -> "Filter":
+        return Filter(lambda b: self(b) & other(b), f"({self.name} and {other.name})")
+
+    def __or__(self, other: "Filter") -> "Filter":
+        return Filter(lambda b: self(b) | other(b), f"({self.name} or {other.name})")
+
+    def __invert__(self) -> "Filter":
+        return Filter(lambda b: ~self(b), f"not {self.name}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Filter({self.name})"
+
+
+def all_packets() -> Filter:
+    """Filter that matches every packet (the common default)."""
+    return Filter(lambda b: np.ones(len(b), dtype=bool), "all")
+
+
+def no_packets() -> Filter:
+    """Filter that matches nothing (useful in tests)."""
+    return Filter(lambda b: np.zeros(len(b), dtype=bool), "none")
+
+
+def proto(number: int) -> Filter:
+    """Match packets with the given IP protocol number."""
+    return Filter(lambda b: b.proto == number, f"proto {number}")
+
+
+def tcp() -> Filter:
+    from .packet import PROTO_TCP
+
+    return Filter(lambda b: b.proto == PROTO_TCP, "tcp")
+
+
+def udp() -> Filter:
+    from .packet import PROTO_UDP
+
+    return Filter(lambda b: b.proto == PROTO_UDP, "udp")
+
+
+def port(number: int, direction: str = "either") -> Filter:
+    """Match packets whose source and/or destination port equals ``number``.
+
+    ``direction`` is one of ``"src"``, ``"dst"`` or ``"either"``.
+    """
+    if direction == "src":
+        return Filter(lambda b: b.src_port == number, f"src port {number}")
+    if direction == "dst":
+        return Filter(lambda b: b.dst_port == number, f"dst port {number}")
+    if direction == "either":
+        return Filter(
+            lambda b: (b.src_port == number) | (b.dst_port == number),
+            f"port {number}",
+        )
+    raise ValueError(f"unknown direction {direction!r}")
+
+
+def subnet(network: int, prefix_len: int, direction: str = "either") -> Filter:
+    """Match packets whose address falls inside ``network/prefix_len``."""
+    if not 0 <= prefix_len <= 32:
+        raise ValueError("prefix length must be in [0, 32]")
+    mask_value = (0xFFFFFFFF << (32 - prefix_len)) & 0xFFFFFFFF if prefix_len \
+        else 0
+    mask = np.uint32(mask_value)
+    net = np.uint32(network) & mask
+
+    def match_src(b: Batch) -> np.ndarray:
+        return (b.src_ip & mask) == net
+
+    def match_dst(b: Batch) -> np.ndarray:
+        return (b.dst_ip & mask) == net
+
+    name = f"net {network}/{prefix_len}"
+    if direction == "src":
+        return Filter(match_src, "src " + name)
+    if direction == "dst":
+        return Filter(match_dst, "dst " + name)
+    if direction == "either":
+        return Filter(lambda b: match_src(b) | match_dst(b), name)
+    raise ValueError(f"unknown direction {direction!r}")
+
+
+def size_at_least(n_bytes: int) -> Filter:
+    """Match packets whose wire size is at least ``n_bytes``."""
+    return Filter(lambda b: b.size >= n_bytes, f"size >= {n_bytes}")
+
+
+def any_of(filters: Iterable[Filter], name: Optional[str] = None) -> Filter:
+    """Disjunction of a collection of filters."""
+    filters = list(filters)
+    if not filters:
+        return no_packets()
+    combined = filters[0]
+    for f in filters[1:]:
+        combined = combined | f
+    if name is not None:
+        combined.name = name
+    return combined

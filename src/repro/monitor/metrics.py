@@ -1,0 +1,217 @@
+"""Accuracy metrics for the standard queries (Section 2.2.1).
+
+Each metric compares a query's per-interval result from an evaluated
+execution (with load shedding) against the result of a *reference* execution
+of the same query over the full trace, and returns an error value.  The
+conventions of the paper are followed:
+
+* counter / flows / high-watermark: relative error of the reported values;
+* application: relative error of per-application packet and byte counts,
+  weighted by each application's share of the reference traffic;
+* top-k: misranked-pair count (reported both raw and normalised);
+* autofocus: one minus the overlap between the reported and reference delta
+  reports;
+* super-sources: average relative error of the fan-out estimates;
+* p2p-detector: one minus the fraction of true P2P flows correctly
+  identified;
+* pattern-search / trace: one minus the fraction of packets processed.
+
+``accuracy = max(0, 1 - error)`` unless stated otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .query import QueryResultLog
+
+
+def relative_error(estimated: float, actual: float) -> float:
+    """``|1 - estimated / actual|`` with the zero-actual corner handled."""
+    if actual == 0:
+        return 0.0 if estimated == 0 else 1.0
+    return abs(1.0 - float(estimated) / float(actual))
+
+
+# ----------------------------------------------------------------------
+# Per-query interval errors
+# ----------------------------------------------------------------------
+def counter_error(result: Dict, reference: Dict) -> float:
+    return 0.5 * (relative_error(result.get("packets", 0.0), reference.get("packets", 0.0)) +
+                  relative_error(result.get("bytes", 0.0), reference.get("bytes", 0.0)))
+
+
+def flows_error(result: Dict, reference: Dict) -> float:
+    return relative_error(result.get("flows", 0.0), reference.get("flows", 0.0))
+
+
+def high_watermark_error(result: Dict, reference: Dict) -> float:
+    return relative_error(result.get("watermark_bytes", 0.0),
+                          reference.get("watermark_bytes", 0.0))
+
+
+def application_error(result: Dict, reference: Dict) -> float:
+    """Weighted average relative error across application classes."""
+    ref_pkts = reference.get("packets_by_app", {})
+    ref_bytes = reference.get("bytes_by_app", {})
+    est_pkts = result.get("packets_by_app", {})
+    est_bytes = result.get("bytes_by_app", {})
+    total_pkts = sum(ref_pkts.values())
+    total_bytes = sum(ref_bytes.values())
+    if total_pkts == 0 and total_bytes == 0:
+        return 0.0
+    error = 0.0
+    for app, count in ref_pkts.items():
+        weight = count / total_pkts if total_pkts else 0.0
+        error += 0.5 * weight * relative_error(est_pkts.get(app, 0.0), count)
+    for app, volume in ref_bytes.items():
+        weight = volume / total_bytes if total_bytes else 0.0
+        error += 0.5 * weight * relative_error(est_bytes.get(app, 0.0), volume)
+    return error
+
+
+def top_k_misranked_pairs(result: Dict, reference: Dict) -> int:
+    """Number of misranked pairs (detection performance metric of [12]).
+
+    A pair is misranked when the first element appears in the query's top-k
+    list, the second does not, yet the reference ranks the second above the
+    first.
+    """
+    query_list = list(result.get("ranking", []))
+    ref_bytes = reference.get("bytes", {})
+    ref_ranking = list(reference.get("ranking", []))
+    outside = [dst for dst in ref_ranking if dst not in query_list]
+    misranked = 0
+    for inside in query_list:
+        inside_volume = ref_bytes.get(inside, 0.0)
+        for out in outside:
+            if ref_bytes.get(out, 0.0) > inside_volume:
+                misranked += 1
+    return misranked
+
+
+def top_k_error(result: Dict, reference: Dict) -> float:
+    """Misranked pairs normalised by ``k^2`` and clipped to [0, 1]."""
+    k = max(len(reference.get("ranking", [])), 1)
+    return min(1.0, top_k_misranked_pairs(result, reference) / float(k * k))
+
+
+def autofocus_error(result: Dict, reference: Dict) -> float:
+    """One minus the overlap between reported and reference cluster sets."""
+    reported = {tuple(c) for c in result.get("clusters", [])}
+    expected = {tuple(c) for c in reference.get("clusters", [])}
+    if not expected and not reported:
+        return 0.0
+    union = reported | expected
+    if not union:
+        return 0.0
+    return 1.0 - len(reported & expected) / len(union)
+
+
+def super_sources_error(result: Dict, reference: Dict) -> float:
+    """Average relative error of the fan-out estimates of the reference top sources."""
+    ref_fanout = reference.get("fanout", {})
+    est_fanout = result.get("fanout", {})
+    if not ref_fanout:
+        return 0.0
+    errors = [relative_error(est_fanout.get(src, 0.0), fanout)
+              for src, fanout in ref_fanout.items()]
+    return float(np.mean(errors))
+
+
+def p2p_detector_error(result: Dict, reference: Dict) -> float:
+    """Error in the (scaled) number of flows identified as P2P.
+
+    The paper defines the error as one minus the fraction of flows correctly
+    identified.  Under flow-wise shedding only a subset of flows is observed
+    at all, so the comparable quantity is the query's scaled estimate of the
+    number of P2P flows versus the reference count: flow-wise shedding keeps
+    this estimate unbiased, while packet sampling loses handshake packets and
+    under-detects even after scaling (Figure 6.4).
+    """
+    true_count = reference.get("p2p_flow_count",
+                               float(len(reference.get("p2p_flows", []))))
+    estimated = result.get("p2p_flow_count",
+                           float(len(result.get("p2p_flows", []))))
+    return min(1.0, relative_error(estimated, true_count))
+
+
+def processed_fraction_error(result: Dict, reference: Dict,
+                             key: str) -> float:
+    """One minus the fraction of packets processed (trace / pattern-search)."""
+    total = reference.get(key, 0.0)
+    processed = result.get(key, 0.0)
+    if total <= 0:
+        return 0.0
+    return float(min(1.0, max(0.0, 1.0 - processed / total)))
+
+
+def trace_error(result: Dict, reference: Dict) -> float:
+    return processed_fraction_error(result, reference, "packets_stored")
+
+
+def pattern_search_error(result: Dict, reference: Dict) -> float:
+    return processed_fraction_error(result, reference, "packets_scanned")
+
+
+#: Query name -> per-interval error function.
+ERROR_FUNCTIONS = {
+    "application": application_error,
+    "autofocus": autofocus_error,
+    "counter": counter_error,
+    "flows": flows_error,
+    "high-watermark": high_watermark_error,
+    "p2p-detector": p2p_detector_error,
+    "p2p-detector-selfish": p2p_detector_error,
+    "p2p-detector-buggy": p2p_detector_error,
+    "pattern-search": pattern_search_error,
+    "super-sources": super_sources_error,
+    "top-k": top_k_error,
+    "trace": trace_error,
+}
+
+
+def query_error(query_name: str, result: Dict, reference: Dict) -> float:
+    """Error of one interval result against its reference counterpart."""
+    base_name = query_name
+    if base_name not in ERROR_FUNCTIONS:
+        # Allow renamed instances such as "counter-3" used in experiments.
+        base_name = query_name.rsplit("-", 1)[0]
+    try:
+        fn = ERROR_FUNCTIONS[base_name]
+    except KeyError:
+        raise KeyError(f"no accuracy metric registered for query "
+                       f"{query_name!r}") from None
+    return float(fn(result, reference))
+
+
+def compare_logs(query_name: str, evaluated: QueryResultLog,
+                 reference: QueryResultLog) -> np.ndarray:
+    """Per-interval error series for a query over a whole execution.
+
+    Intervals are aligned by index; if the evaluated execution produced
+    fewer intervals (e.g. the query was disabled), the missing intervals
+    count as an error of 1.
+    """
+    errors: List[float] = []
+    for index in range(len(reference)):
+        ref = reference.result_at(index)
+        if index < len(evaluated):
+            errors.append(query_error(query_name, evaluated.result_at(index),
+                                      ref))
+        else:
+            errors.append(1.0)
+    return np.array(errors, dtype=np.float64)
+
+
+def mean_error(query_name: str, evaluated: QueryResultLog,
+               reference: QueryResultLog) -> float:
+    errors = compare_logs(query_name, evaluated, reference)
+    return float(errors.mean()) if len(errors) else 0.0
+
+
+def accuracy_from_error(error: float) -> float:
+    """Accuracy as defined in Chapter 5: ``max(0, 1 - error)``."""
+    return max(0.0, 1.0 - float(error))

@@ -1,0 +1,332 @@
+"""Packet and batch data model.
+
+The monitoring system processes the input packet stream in *batches*: groups
+of packets that arrived during a fixed ``time_bin`` (100 ms in the paper).
+A :class:`Batch` is a column store backed by NumPy arrays so that feature
+extraction, sampling and most query computations can be vectorised, while a
+per-packet view (:class:`Packet`) is still available for queries written in a
+packet-at-a-time style (e.g. pattern search over payloads).
+
+Column layout
+-------------
+``ts``        float64   packet timestamp (seconds)
+``src_ip``    uint32    source IPv4 address
+``dst_ip``    uint32    destination IPv4 address
+``src_port``  uint16    source transport port
+``dst_port``  uint16    destination transport port
+``proto``     uint8     IP protocol number (6 = TCP, 17 = UDP, ...)
+``size``      uint32    packet size on the wire in bytes
+``payload``   optional list of ``bytes`` (only present in full-payload traces)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
+
+import numpy as np
+
+#: IP protocol numbers used throughout the code base.
+PROTO_TCP = 6
+PROTO_UDP = 17
+PROTO_ICMP = 1
+
+#: Names of the integer header columns stored in a batch, in canonical order.
+HEADER_FIELDS = ("src_ip", "dst_ip", "src_port", "dst_port", "proto")
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A single packet, materialised from a :class:`Batch` row.
+
+    This is a convenience view for per-packet query code; the authoritative
+    storage is the column arrays of the owning batch.
+    """
+
+    ts: float
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    proto: int
+    size: int
+    payload: Optional[bytes] = None
+
+    @property
+    def flow_key(self) -> tuple:
+        """The classical 5-tuple identifying the packet's flow."""
+        return (self.src_ip, self.dst_ip, self.src_port, self.dst_port, self.proto)
+
+
+class Batch:
+    """A set of packets collected during one time bin.
+
+    Parameters
+    ----------
+    ts, src_ip, dst_ip, src_port, dst_port, proto, size:
+        Equal-length 1-D arrays (or sequences) with per-packet values.
+    payloads:
+        Optional list of ``bytes`` objects, one per packet.  ``None`` for
+        header-only traces.
+    time_bin:
+        Duration in seconds of the bin this batch covers.
+    start_ts:
+        Timestamp of the start of the bin.  Defaults to the first packet
+        timestamp (or 0.0 for an empty batch).
+    """
+
+    __slots__ = (
+        "ts",
+        "src_ip",
+        "dst_ip",
+        "src_port",
+        "dst_port",
+        "proto",
+        "size",
+        "payloads",
+        "time_bin",
+        "start_ts",
+    )
+
+    def __init__(
+        self,
+        ts,
+        src_ip,
+        dst_ip,
+        src_port,
+        dst_port,
+        proto,
+        size,
+        payloads: Optional[List[bytes]] = None,
+        time_bin: float = 0.1,
+        start_ts: Optional[float] = None,
+    ) -> None:
+        self.ts = np.asarray(ts, dtype=np.float64)
+        self.src_ip = np.asarray(src_ip, dtype=np.uint32)
+        self.dst_ip = np.asarray(dst_ip, dtype=np.uint32)
+        self.src_port = np.asarray(src_port, dtype=np.uint16)
+        self.dst_port = np.asarray(dst_port, dtype=np.uint16)
+        self.proto = np.asarray(proto, dtype=np.uint8)
+        self.size = np.asarray(size, dtype=np.uint32)
+        n = len(self.ts)
+        for name in ("src_ip", "dst_ip", "src_port", "dst_port", "proto", "size"):
+            if len(getattr(self, name)) != n:
+                raise ValueError(f"column {name!r} has length "
+                                 f"{len(getattr(self, name))}, expected {n}")
+        if payloads is not None and len(payloads) != n:
+            raise ValueError(f"payloads has length {len(payloads)}, expected {n}")
+        self.payloads = payloads
+        self.time_bin = float(time_bin)
+        if start_ts is None:
+            start_ts = float(self.ts[0]) if n else 0.0
+        self.start_ts = float(start_ts)
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(len(self.ts))
+
+    def __iter__(self) -> Iterator[Packet]:
+        return self.packets()
+
+    def packets(self) -> Iterator[Packet]:
+        """Iterate over the batch as :class:`Packet` objects."""
+        payloads = self.payloads
+        for i in range(len(self)):
+            yield Packet(
+                ts=float(self.ts[i]),
+                src_ip=int(self.src_ip[i]),
+                dst_ip=int(self.dst_ip[i]),
+                src_port=int(self.src_port[i]),
+                dst_port=int(self.dst_port[i]),
+                proto=int(self.proto[i]),
+                size=int(self.size[i]),
+                payload=payloads[i] if payloads is not None else None,
+            )
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def packet_count(self) -> int:
+        """Number of packets in the batch."""
+        return len(self)
+
+    @property
+    def byte_count(self) -> int:
+        """Total bytes (wire sizes) in the batch."""
+        return int(self.size.sum()) if len(self) else 0
+
+    @property
+    def has_payloads(self) -> bool:
+        return self.payloads is not None
+
+    def flow_keys(self) -> np.ndarray:
+        """Return a structured array of the per-packet 5-tuples."""
+        keys = np.empty(
+            len(self),
+            dtype=[
+                ("src_ip", np.uint32),
+                ("dst_ip", np.uint32),
+                ("src_port", np.uint16),
+                ("dst_port", np.uint16),
+                ("proto", np.uint8),
+            ],
+        )
+        keys["src_ip"] = self.src_ip
+        keys["dst_ip"] = self.dst_ip
+        keys["src_port"] = self.src_port
+        keys["dst_port"] = self.dst_port
+        keys["proto"] = self.proto
+        return keys
+
+    def columns(self, names: Sequence[str]) -> List[np.ndarray]:
+        """Return the header columns named in ``names``."""
+        return [getattr(self, name) for name in names]
+
+    # ------------------------------------------------------------------
+    # Subsetting
+    # ------------------------------------------------------------------
+    def select(self, mask_or_index) -> "Batch":
+        """Return a new batch with the packets selected by a mask or index.
+
+        Used both by stateless filters and by the sampling load shedders.
+        """
+        idx = np.asarray(mask_or_index)
+        if idx.dtype == bool:
+            idx = np.flatnonzero(idx)
+        payloads = None
+        if self.payloads is not None:
+            payloads = [self.payloads[i] for i in idx]
+        return Batch(
+            ts=self.ts[idx],
+            src_ip=self.src_ip[idx],
+            dst_ip=self.dst_ip[idx],
+            src_port=self.src_port[idx],
+            dst_port=self.dst_port[idx],
+            proto=self.proto[idx],
+            size=self.size[idx],
+            payloads=payloads,
+            time_bin=self.time_bin,
+            start_ts=self.start_ts,
+        )
+
+    @classmethod
+    def empty(cls, time_bin: float = 0.1, start_ts: float = 0.0,
+              with_payloads: bool = False) -> "Batch":
+        """Return a batch with no packets."""
+        return cls(
+            ts=np.empty(0),
+            src_ip=np.empty(0, dtype=np.uint32),
+            dst_ip=np.empty(0, dtype=np.uint32),
+            src_port=np.empty(0, dtype=np.uint16),
+            dst_port=np.empty(0, dtype=np.uint16),
+            proto=np.empty(0, dtype=np.uint8),
+            size=np.empty(0, dtype=np.uint32),
+            payloads=[] if with_payloads else None,
+            time_bin=time_bin,
+            start_ts=start_ts,
+        )
+
+    @classmethod
+    def concatenate(cls, batches: Sequence["Batch"]) -> "Batch":
+        """Concatenate several batches into one (used by trace assembly)."""
+        if not batches:
+            return cls.empty()
+        payloads: Optional[List[bytes]] = None
+        if all(b.payloads is not None for b in batches):
+            payloads = []
+            for b in batches:
+                payloads.extend(b.payloads)  # type: ignore[arg-type]
+        return cls(
+            ts=np.concatenate([b.ts for b in batches]),
+            src_ip=np.concatenate([b.src_ip for b in batches]),
+            dst_ip=np.concatenate([b.dst_ip for b in batches]),
+            src_port=np.concatenate([b.src_port for b in batches]),
+            dst_port=np.concatenate([b.dst_port for b in batches]),
+            proto=np.concatenate([b.proto for b in batches]),
+            size=np.concatenate([b.size for b in batches]),
+            payloads=payloads,
+            time_bin=batches[0].time_bin,
+            start_ts=batches[0].start_ts,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Batch(packets={len(self)}, bytes={self.byte_count}, "
+                f"start_ts={self.start_ts:.3f}, time_bin={self.time_bin})")
+
+
+class PacketTrace:
+    """A full packet trace: one large :class:`Batch` plus batching helpers.
+
+    A trace is stored as a single column store ordered by timestamp; the
+    :meth:`batches` method slices it into fixed ``time_bin`` batches, which is
+    how the capture process of the monitoring system consumes it.
+    """
+
+    def __init__(self, packets: Batch, name: str = "trace") -> None:
+        self.packets = packets
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.packets)
+
+    @property
+    def duration(self) -> float:
+        """Trace duration in seconds (last timestamp minus first)."""
+        if len(self.packets) == 0:
+            return 0.0
+        return float(self.packets.ts[-1] - self.packets.ts[0])
+
+    @property
+    def byte_count(self) -> int:
+        return self.packets.byte_count
+
+    def batches(self, time_bin: float = 0.1) -> Iterator[Batch]:
+        """Yield consecutive batches of ``time_bin`` seconds.
+
+        Empty bins are yielded as empty batches so that the consumer observes
+        a continuous timeline, exactly as a live capture process would.
+        """
+        pkts = self.packets
+        if len(pkts) == 0:
+            return
+        ts = pkts.ts
+        start = float(ts[0])
+        end = float(ts[-1])
+        n_bins = int(np.floor((end - start) / time_bin)) + 1
+        # Bin index of every packet; searchsorted on the (sorted) timestamps
+        # gives us contiguous index ranges per bin.
+        edges = start + time_bin * np.arange(n_bins + 1)
+        bounds = np.searchsorted(ts, edges)
+        for i in range(n_bins):
+            lo, hi = int(bounds[i]), int(bounds[i + 1])
+            if hi > lo:
+                batch = pkts.select(np.arange(lo, hi))
+            else:
+                batch = Batch.empty(time_bin=time_bin,
+                                    start_ts=float(edges[i]),
+                                    with_payloads=pkts.payloads is not None)
+            batch.time_bin = time_bin
+            batch.start_ts = float(edges[i])
+            yield batch
+
+    def num_batches(self, time_bin: float = 0.1) -> int:
+        """Number of batches :meth:`batches` will yield."""
+        if len(self.packets) == 0:
+            return 0
+        return int(np.floor(self.duration / time_bin)) + 1
+
+
+def ip(a: int, b: int, c: int, d: int) -> int:
+    """Build an integer IPv4 address from dotted-quad components."""
+    for octet in (a, b, c, d):
+        if not 0 <= octet <= 255:
+            raise ValueError("IPv4 octets must be in [0, 255]")
+    return (a << 24) | (b << 16) | (c << 8) | d
+
+
+def format_ip(addr: int) -> str:
+    """Render an integer IPv4 address in dotted-quad notation."""
+    return ".".join(str((addr >> shift) & 0xFF) for shift in (24, 16, 8, 0))

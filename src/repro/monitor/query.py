@@ -1,0 +1,178 @@
+"""Plug-in query API.
+
+A *query* (the paper also calls it a monitoring application or plug-in
+module) is a black box from the point of view of the load shedding scheme:
+the system hands it batches of packets and observes only the cycles it
+consumed.  The interface below mirrors the CoMo callbacks of Table 2.1 in a
+pythonic form:
+
+``update(batch, sampling_rate)``
+    Process the packets of one batch, maintaining arbitrary internal state.
+``interval_result()``
+    Called at each measurement-interval boundary; returns the query's results
+    for the interval (a dict of named values) and resets interval state.
+``shed_load(batch, target_fraction)``
+    Optional custom load shedding hook (Chapter 6): the query itself reduces
+    its work to roughly ``target_fraction`` of the full-batch cost and
+    returns the sampling-equivalent fraction it actually applied.
+
+Cost accounting: queries *charge* the basic operations they really perform to
+a :class:`~repro.core.cycles.CycleMeter`; the system reads the accumulated
+total after each batch.  The predictor never sees the individual charges.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Optional
+
+from ..core.cycles import CycleMeter, OperationCosts
+from .filters import Filter, all_packets
+from .packet import Batch
+
+#: Sampling methods a query can request from the system load shedders.
+SAMPLING_PACKET = "packet"
+SAMPLING_FLOW = "flow"
+SAMPLING_CUSTOM = "custom"
+
+
+class Query(ABC):
+    """Base class for plug-in monitoring queries.
+
+    Subclasses set the class attributes below and implement
+    :meth:`update` and :meth:`interval_result`.
+
+    Attributes
+    ----------
+    name:
+        Unique query name (used in reports and accuracy tables).
+    sampling_method:
+        ``"packet"``, ``"flow"`` or ``"custom"`` — which shedding mechanism
+        the query selects at configuration time.
+    minimum_sampling_rate:
+        The ``m_q`` constraint of Chapter 5: the lowest sampling rate under
+        which the user still considers the results useful.
+    measurement_interval:
+        Seconds between result flushes.
+    needs_payload:
+        Whether the query requires packet payloads to operate.
+    """
+
+    name: str = "query"
+    sampling_method: str = SAMPLING_PACKET
+    minimum_sampling_rate: float = 0.0
+    measurement_interval: float = 1.0
+    needs_payload: bool = False
+
+    def __init__(
+        self,
+        packet_filter: Optional[Filter] = None,
+        costs: Optional[OperationCosts] = None,
+        name: Optional[str] = None,
+    ) -> None:
+        self.filter = packet_filter if packet_filter is not None else all_packets()
+        self.meter = CycleMeter(costs=costs)
+        if name is not None:
+            self.name = name
+        self.enabled = True
+        #: Sampling rate applied to the most recent batch (1.0 = no shedding).
+        self.last_sampling_rate = 1.0
+
+    # ------------------------------------------------------------------
+    # Callbacks implemented by concrete queries
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def update(self, batch: Batch, sampling_rate: float) -> None:
+        """Process one (possibly sampled) batch.
+
+        ``sampling_rate`` is the probability with which each packet (or flow)
+        of the original filtered batch was retained; queries use it to
+        estimate their unsampled output (typically by scaling counters by
+        ``1 / sampling_rate``).
+        """
+
+    @abstractmethod
+    def interval_result(self) -> Dict[str, float]:
+        """Return results for the current measurement interval and reset it."""
+
+    def reset(self) -> None:
+        """Reset all query state (start of a fresh execution)."""
+        self.meter.reset()
+        self.enabled = True
+        self.last_sampling_rate = 1.0
+
+    # ------------------------------------------------------------------
+    # Custom load shedding hook (Chapter 6)
+    # ------------------------------------------------------------------
+    @property
+    def supports_custom_shedding(self) -> bool:
+        """True when the query implements its own load shedding method."""
+        return self.sampling_method == SAMPLING_CUSTOM
+
+    def shed_load(self, batch: Batch, target_fraction: float) -> float:
+        """Custom shedding: reduce the work on ``batch`` to ``target_fraction``.
+
+        Implementations must process the batch themselves (calling
+        :meth:`update` or equivalent internal logic) and return the fraction
+        of the full-batch resource usage they actually consumed, which the
+        enforcement policy compares against its measurement.  The default
+        raises, since most queries rely on system sampling.
+        """
+        raise NotImplementedError(
+            f"query {self.name!r} does not implement custom load shedding")
+
+    # ------------------------------------------------------------------
+    # Cost accounting helpers
+    # ------------------------------------------------------------------
+    def charge(self, operation: str, count: float = 1.0) -> None:
+        """Charge ``count`` repetitions of a basic operation to the meter."""
+        self.meter.charge(operation, count)
+
+    def consume_cycles(self) -> float:
+        """Read and reset the cycles accumulated for the last batch."""
+        return self.meter.consume()
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def process(self, batch: Batch, sampling_rate: float = 1.0) -> float:
+        """Filter, update and return the cycles consumed for one batch.
+
+        This is the path used by standalone examples and tests; the full
+        monitoring system drives the same callbacks itself so it can place
+        the load shedders between the filter and the query.
+        """
+        filtered = self.filter.apply(batch)
+        self.last_sampling_rate = sampling_rate
+        self.update(filtered, sampling_rate)
+        return self.consume_cycles()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class QueryResultLog:
+    """Accumulates per-interval results of one query over an execution.
+
+    The experiment harness uses two logs per query — one from the evaluated
+    (load shedding) run and one from a reference run on the full trace — and
+    feeds them to the accuracy metrics of :mod:`repro.monitor.metrics`.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.intervals: list = []
+        self.results: list = []
+
+    def append(self, interval_start: float, result: Dict[str, float]) -> None:
+        self.intervals.append(float(interval_start))
+        self.results.append(result)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(zip(self.intervals, self.results))
+
+    def result_at(self, index: int) -> Dict[str, float]:
+        return self.results[index]

@@ -1,0 +1,509 @@
+"""The monitoring system: queries + capture + load shedding, end to end.
+
+:class:`MonitoringSystem` reproduces the CoMo data path of Figure 2.1 at the
+granularity the load shedding scheme cares about: batches of packets flow
+from the capture process, through the prediction and load shedding subsystem
+(Figure 3.2), into the plug-in queries, while a cycle clock accounts for
+every consumer of CPU time.
+
+Four operating modes correspond to the systems compared in the evaluation:
+
+``predictive``
+    The paper's scheme (Algorithm 1): per-query MLR+FCBF prediction, an
+    allocation strategy (eq_srates / mmfs_cpu / mmfs_pkt), packet / flow /
+    custom shedding, buffer discovery and error correction.
+``reactive``
+    The SEDA-like baseline of Section 4.5.1: the sampling rate follows the
+    measured load of the *previous* bin (Equation 4.1).
+``original``
+    The unmodified system (also the ``no_lshed`` system of Chapter 5): no
+    sampling at all; overload turns into uncontrolled capture-buffer drops.
+``reference``
+    ``original`` with an infinite buffer; used to compute the ground-truth
+    query results against which accuracy is measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+import numpy as np
+
+from ..core.custom import CustomShedEnforcer
+from ..core.cycles import CycleBudget, CycleClock
+from ..core.fairness import QueryDemand
+from ..core.features import FeatureExtractor, FeatureVector
+from ..core.prediction import CyclePredictor, make_predictor
+from ..core.sampling import FlowSampler, PacketSampler
+from ..core.shedding import LoadSheddingController, reactive_rate
+from .capture import CaptureBuffer
+from .packet import Batch, PacketTrace
+from .query import (SAMPLING_CUSTOM, SAMPLING_FLOW, Query, QueryResultLog)
+
+#: Valid operating modes.
+MODES = ("predictive", "reactive", "original", "reference")
+#: Aliases accepted for convenience (Chapter 5 names).
+MODE_ALIASES = {"no_lshed": "original"}
+
+
+@dataclass
+class BinRecord:
+    """Everything recorded about one time bin of an execution."""
+
+    index: int
+    start_ts: float
+    incoming_packets: int
+    incoming_bytes: int
+    dropped_packets: int
+    unsampled_packets: float
+    predicted_cycles: float
+    query_cycles: float
+    prediction_overhead: float
+    shedding_overhead: float
+    system_overhead: float
+    available_cycles: float
+    delay: float
+    buffer_occupation: float
+    rates: Dict[str, float] = field(default_factory=dict)
+    query_cycles_by_query: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_cycles(self) -> float:
+        return (self.query_cycles + self.prediction_overhead +
+                self.shedding_overhead + self.system_overhead)
+
+    @property
+    def mean_rate(self) -> float:
+        return float(np.mean(list(self.rates.values()))) if self.rates else 1.0
+
+
+class ExecutionResult:
+    """Result of running a system over a trace."""
+
+    def __init__(self, mode: str, strategy: str, trace_name: str,
+                 budget: CycleBudget) -> None:
+        self.mode = mode
+        self.strategy = strategy
+        self.trace_name = trace_name
+        self.budget = budget
+        self.bins: List[BinRecord] = []
+        self.query_logs: Dict[str, QueryResultLog] = {}
+
+    # -- aggregate views ----------------------------------------------------
+    def series(self, attribute: str) -> np.ndarray:
+        """Per-bin series of any :class:`BinRecord` attribute/property."""
+        return np.array([getattr(record, attribute) for record in self.bins],
+                        dtype=np.float64)
+
+    @property
+    def total_packets(self) -> int:
+        return int(sum(record.incoming_packets for record in self.bins))
+
+    @property
+    def dropped_packets(self) -> int:
+        return int(sum(record.dropped_packets for record in self.bins))
+
+    @property
+    def unsampled_packets(self) -> float:
+        return float(sum(record.unsampled_packets for record in self.bins))
+
+    @property
+    def drop_fraction(self) -> float:
+        total = self.total_packets
+        return self.dropped_packets / total if total else 0.0
+
+    def cycles_per_bin(self) -> np.ndarray:
+        return self.series("total_cycles")
+
+    def mean_sampling_rate(self) -> float:
+        rates = [record.mean_rate for record in self.bins if record.rates]
+        return float(np.mean(rates)) if rates else 1.0
+
+    def rate_series(self, query_name: str) -> np.ndarray:
+        return np.array([record.rates.get(query_name, 1.0)
+                         for record in self.bins], dtype=np.float64)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ExecutionResult(mode={self.mode!r}, bins={len(self.bins)}, "
+                f"dropped={self.dropped_packets})")
+
+
+class _QueryRuntime:
+    """Per-query state owned by the monitoring system."""
+
+    def __init__(self, query: Query, start_time: float, predictor: CyclePredictor,
+                 extractor: FeatureExtractor, sampler, seed: int) -> None:
+        self.query = query
+        self.start_time = float(start_time)
+        self.predictor = predictor
+        self.extractor = extractor
+        self.sampler = sampler
+        self.log = QueryResultLog(query.name)
+        self.interval_start: Optional[float] = None
+        self.last_prediction = 0.0
+        self.seed = seed
+
+    def reset(self) -> None:
+        self.query.reset()
+        self.predictor.reset()
+        self.extractor.reset()
+        self.log = QueryResultLog(self.query.name)
+        self.interval_start = None
+        self.last_prediction = 0.0
+
+
+class MonitoringSystem:
+    """A CoMo-like monitoring system with pluggable load shedding.
+
+    Parameters
+    ----------
+    queries:
+        Initial query set (more can be added with :meth:`add_query`).
+    mode:
+        One of ``predictive``, ``reactive``, ``original``, ``reference``.
+    strategy:
+        Allocation strategy for the predictive mode (``eq_srates``,
+        ``mmfs_cpu``, ``mmfs_pkt`` or a callable).
+    predictor:
+        Predictor kind for the predictive mode (``mlr``, ``slr``, ``ewma``).
+    budget:
+        Cycle capacity of the host; defaults to 3e8 cycles per 100 ms bin.
+    buffer_seconds:
+        Capture buffer size expressed in seconds of backlog (None = infinite).
+    support_custom_shedding:
+        Whether custom load shedding is honoured (Chapter 6); when False,
+        custom queries fall back to packet sampling (the system of Fig. 6.6).
+    measurement_noise:
+        Relative standard deviation of the cycle measurement noise.
+    """
+
+    def __init__(
+        self,
+        queries: Optional[Iterable[Query]] = None,
+        mode: str = "predictive",
+        strategy: str = "eq_srates",
+        predictor: str = "mlr",
+        predictor_kwargs: Optional[dict] = None,
+        budget: Optional[CycleBudget] = None,
+        buffer_seconds: Optional[float] = 0.2,
+        support_custom_shedding: bool = True,
+        feature_method: str = "bitmap",
+        feature_kwargs: Optional[dict] = None,
+        measurement_noise: float = 0.0,
+        system_overhead_fixed: float = 2e4,
+        system_overhead_per_packet: float = 20.0,
+        reactive_min_rate: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        mode = MODE_ALIASES.get(mode, mode)
+        if mode not in MODES:
+            raise ValueError(f"unknown mode {mode!r}; valid modes: {MODES}")
+        self.mode = mode
+        self.strategy_name = strategy if isinstance(strategy, str) else \
+            getattr(strategy, "__name__", "custom")
+        self.predictor_kind = predictor
+        self.predictor_kwargs = dict(predictor_kwargs or {})
+        self.budget = budget if budget is not None else CycleBudget()
+        self.buffer_seconds = None if mode == "reference" else buffer_seconds
+        self.support_custom_shedding = bool(support_custom_shedding)
+        self.feature_method = feature_method
+        self.feature_kwargs = dict(feature_kwargs or {})
+        self.measurement_noise = float(measurement_noise)
+        self.system_overhead_fixed = float(system_overhead_fixed)
+        self.system_overhead_per_packet = float(system_overhead_per_packet)
+        self.reactive_min_rate = float(reactive_min_rate)
+        self.seed = int(seed)
+        self._rng = np.random.default_rng(seed)
+
+        self.controller = LoadSheddingController(strategy=strategy)
+        self.enforcer = CustomShedEnforcer()
+        self._runtimes: Dict[str, _QueryRuntime] = {}
+        self._prev_reactive_rate = 1.0
+        self._prev_query_cycles = 0.0
+        if queries is not None:
+            for query in queries:
+                self.add_query(query)
+
+    # ------------------------------------------------------------------
+    # Query management
+    # ------------------------------------------------------------------
+    def add_query(self, query: Query, start_time: float = 0.0) -> None:
+        """Register a query; ``start_time`` models query arrivals (Ch. 6)."""
+        if query.name in self._runtimes:
+            raise ValueError(f"a query named {query.name!r} is already registered")
+        seed = int(self._rng.integers(0, 2 ** 31))
+        predictor = make_predictor(self.predictor_kind, **self.predictor_kwargs)
+        extractor = FeatureExtractor(
+            measurement_interval=query.measurement_interval,
+            method=self.feature_method,
+            counter_kwargs=self.feature_kwargs,
+        )
+        if query.sampling_method == SAMPLING_FLOW:
+            sampler = FlowSampler(rng=np.random.default_rng(seed),
+                                  measurement_interval=query.measurement_interval)
+        else:
+            sampler = PacketSampler(rng=np.random.default_rng(seed))
+        query.meter.noise_std = self.measurement_noise
+        query.meter._rng = np.random.default_rng(seed + 1)
+        self._runtimes[query.name] = _QueryRuntime(
+            query, start_time, predictor, extractor, sampler, seed)
+
+    def remove_query(self, name: str) -> None:
+        self._runtimes.pop(name, None)
+
+    @property
+    def query_names(self) -> List[str]:
+        return list(self._runtimes)
+
+    def runtime(self, name: str) -> _QueryRuntime:
+        return self._runtimes[name]
+
+    def _uses_custom(self, runtime: _QueryRuntime) -> bool:
+        return (self.mode == "predictive" and self.support_custom_shedding and
+                runtime.query.sampling_method == SAMPLING_CUSTOM)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, trace: PacketTrace, time_bin: float = 0.1) -> ExecutionResult:
+        """Run the system over a trace and return the execution record."""
+        self._reset()
+        budget = CycleBudget(self.budget.cycles_per_second, time_bin)
+        clock = CycleClock(budget)
+        buffer = CaptureBuffer(self.buffer_seconds,
+                               cycles_per_second=budget.cycles_per_second)
+        self.controller.configure_budget(budget.per_bin, buffer.capacity_cycles)
+        result = ExecutionResult(self.mode, self.strategy_name, trace.name,
+                                 budget)
+        for index, batch in enumerate(trace.batches(time_bin)):
+            record = self._process_bin(index, batch, clock, buffer)
+            result.bins.append(record)
+        self._final_flush(trace, result)
+        for name, runtime in self._runtimes.items():
+            result.query_logs[name] = runtime.log
+        return result
+
+    def _reset(self) -> None:
+        for runtime in self._runtimes.values():
+            runtime.reset()
+        self.controller.reset()
+        self.enforcer.reset()
+        self._prev_reactive_rate = 1.0
+        self._prev_query_cycles = 0.0
+
+    def _active_runtimes(self, batch_start: float) -> List[_QueryRuntime]:
+        return [runtime for runtime in self._runtimes.values()
+                if runtime.start_time <= batch_start + 1e-9]
+
+    # ------------------------------------------------------------------
+    def _flush_intervals(self, runtime: _QueryRuntime, batch_start: float
+                         ) -> None:
+        """Emit measurement-interval results up to ``batch_start``."""
+        interval = runtime.query.measurement_interval
+        if runtime.interval_start is None:
+            runtime.interval_start = batch_start
+            return
+        while batch_start >= runtime.interval_start + interval - 1e-9:
+            result = runtime.query.interval_result()
+            runtime.query.consume_cycles()  # flush cost is charged to export
+            runtime.log.append(runtime.interval_start, result)
+            runtime.interval_start += interval
+
+    def _final_flush(self, trace: PacketTrace, result: ExecutionResult) -> None:
+        """Flush the last (possibly partial) measurement interval."""
+        for runtime in self._runtimes.values():
+            if runtime.interval_start is None:
+                continue
+            final = runtime.query.interval_result()
+            runtime.query.consume_cycles()
+            runtime.log.append(runtime.interval_start, final)
+
+    # ------------------------------------------------------------------
+    def _process_bin(self, index: int, batch: Batch, clock: CycleClock,
+                     buffer: CaptureBuffer) -> BinRecord:
+        clock.start_bin()
+        active = self._active_runtimes(batch.start_ts)
+        for runtime in active:
+            self._flush_intervals(runtime, batch.start_ts)
+
+        status = buffer.status(clock.delay)
+        if status.dropping and len(batch) > 0:
+            # Uncontrolled loss: the batch never reaches the queries and the
+            # bin's cycles go into draining the backlog.
+            buffer.record_drop(len(batch))
+            usage = clock.end_bin()
+            self.controller.end_bin(usage.total, clock.per_bin_budget,
+                                    buffer.status(clock.delay).occupation)
+            return BinRecord(
+                index=index, start_ts=batch.start_ts,
+                incoming_packets=len(batch), incoming_bytes=batch.byte_count,
+                dropped_packets=len(batch), unsampled_packets=0.0,
+                predicted_cycles=0.0, query_cycles=0.0,
+                prediction_overhead=0.0, shedding_overhead=0.0,
+                system_overhead=0.0,
+                available_cycles=clock.per_bin_budget,
+                delay=clock.delay, buffer_occupation=status.occupation,
+                rates={runtime.query.name: 0.0 for runtime in active},
+                query_cycles_by_query={},
+            )
+
+        como = (self.system_overhead_fixed +
+                self.system_overhead_per_packet * len(batch))
+        clock.charge_system(como)
+
+        filtered: Dict[str, Batch] = {}
+        features_pre: Dict[str, FeatureVector] = {}
+        predictions: Dict[str, float] = {}
+        demands: List[QueryDemand] = []
+        for runtime in active:
+            name = runtime.query.name
+            filtered[name] = runtime.query.filter.apply(batch)
+            if self.mode == "predictive":
+                feats = runtime.extractor.extract(filtered[name],
+                                                  update_state=False)
+                features_pre[name] = feats
+                prediction = runtime.predictor.predict(feats)
+                runtime.last_prediction = prediction
+                predictions[name] = prediction
+                clock.charge_prediction(
+                    runtime.extractor.extraction_cost(filtered[name]) +
+                    runtime.predictor.overhead_cycles)
+                demands.append(QueryDemand(
+                    name=name, predicted_cycles=prediction,
+                    min_sampling_rate=runtime.query.minimum_sampling_rate))
+
+        rates = self._decide_rates(active, demands, clock, como, batch)
+
+        query_cycles_by_query: Dict[str, float] = {}
+        shedding_cycles = 0.0
+        expected_after_shedding = 0.0
+        unsampled = 0.0
+        for runtime in active:
+            name = runtime.query.name
+            rate = rates.get(name, 1.0)
+            sub_batch = filtered[name]
+            if self._uses_custom(runtime):
+                cycles, applied = self._run_custom(runtime, sub_batch, rate,
+                                                   predictions.get(name, 0.0),
+                                                   index, features_pre.get(name))
+                rates[name] = applied
+                unsampled += (1.0 - applied) * len(sub_batch)
+            else:
+                cycles, ls_cycles = self._run_sampled(runtime, sub_batch, rate,
+                                                      features_pre.get(name))
+                shedding_cycles += ls_cycles
+                unsampled += (1.0 - rate) * len(sub_batch)
+            query_cycles_by_query[name] = cycles
+            clock.charge_query(cycles)
+            expected_after_shedding += predictions.get(name, 0.0) * rate
+
+        # ``unsampled`` is reported per packet of the input stream (averaged
+        # over the queries), not summed across queries.
+        if active:
+            unsampled /= len(active)
+        clock.charge_shedding(shedding_cycles)
+        total_query_cycles = float(sum(query_cycles_by_query.values()))
+        if self.mode == "predictive":
+            self.controller.record_shedding_overhead(shedding_cycles)
+            self.controller.record_prediction_error(expected_after_shedding,
+                                                    total_query_cycles)
+        clock.record_prediction(float(sum(predictions.values())))
+
+        usage = clock.end_bin()
+        occupation = buffer.status(clock.delay).occupation
+        self.controller.end_bin(usage.total, clock.per_bin_budget, occupation)
+        self._prev_query_cycles = total_query_cycles
+        self._prev_reactive_rate = (np.mean(list(rates.values()))
+                                    if rates else 1.0)
+        return BinRecord(
+            index=index, start_ts=batch.start_ts,
+            incoming_packets=len(batch), incoming_bytes=batch.byte_count,
+            dropped_packets=0, unsampled_packets=unsampled,
+            predicted_cycles=usage.predicted,
+            query_cycles=usage.queries,
+            prediction_overhead=usage.prediction_overhead,
+            shedding_overhead=usage.shedding_overhead,
+            system_overhead=usage.system_overhead,
+            available_cycles=clock.per_bin_budget,
+            delay=clock.delay, buffer_occupation=occupation,
+            rates=dict(rates),
+            query_cycles_by_query=query_cycles_by_query,
+        )
+
+    # ------------------------------------------------------------------
+    def _decide_rates(self, active: List[_QueryRuntime],
+                      demands: List[QueryDemand], clock: CycleClock,
+                      como: float, batch: Batch) -> Dict[str, float]:
+        names = [runtime.query.name for runtime in active]
+        if self.mode in ("original", "reference"):
+            return {name: 1.0 for name in names}
+        if self.mode == "reactive":
+            rate = reactive_rate(self._prev_reactive_rate,
+                                 self._prev_query_cycles,
+                                 clock.per_bin_budget - como,
+                                 clock.delay,
+                                 min_rate=self.reactive_min_rate)
+            return {name: rate for name in names}
+        plan = self.controller.plan(demands, clock.per_bin_budget,
+                                    clock.overhead_so_far(), clock.delay)
+        return dict(plan.rates)
+
+    def _run_sampled(self, runtime: _QueryRuntime, sub_batch: Batch,
+                     rate: float, features_pre: Optional[FeatureVector]
+                     ) -> tuple:
+        """Run a query behind system packet/flow sampling.  Returns
+        ``(query_cycles, shedding_cycles)``."""
+        query = runtime.query
+        shedding_cycles = 0.0
+        if rate >= 1.0:
+            processed = sub_batch
+            features_post = features_pre
+            if self.mode == "predictive":
+                runtime.extractor.commit(sub_batch)
+        elif rate <= 0.0:
+            # The query is disabled for this bin: it sees no packets.
+            processed = sub_batch.select(np.zeros(len(sub_batch), dtype=bool))
+            features_post = None
+        else:
+            processed = runtime.sampler.sample(sub_batch, rate)
+            shedding_cycles += runtime.sampler.cost(sub_batch)
+            if self.mode == "predictive":
+                features_post = runtime.extractor.extract(processed,
+                                                          update_state=True)
+                shedding_cycles += runtime.extractor.extraction_cost(processed)
+            else:
+                features_post = None
+        query.last_sampling_rate = rate if rate > 0 else 0.0
+        if rate > 0.0:
+            query.update(processed, max(rate, 1e-12))
+        cycles = query.consume_cycles()
+        if self.mode == "predictive" and features_post is not None:
+            runtime.predictor.observe(features_post.values
+                                      if isinstance(features_post, FeatureVector)
+                                      else features_post, cycles)
+        return cycles, shedding_cycles
+
+    def _run_custom(self, runtime: _QueryRuntime, sub_batch: Batch,
+                    rate: float, prediction: float, bin_index: int,
+                    features_pre: Optional[FeatureVector]) -> tuple:
+        """Run a query that sheds its own load.  Returns
+        ``(query_cycles, applied_fraction)``."""
+        query = runtime.query
+        name = query.name
+        if self.enforcer.is_disabled(name, bin_index) or rate <= 0.0:
+            return 0.0, 0.0
+        allowed = self.enforcer.allowed_fraction(name, rate)
+        applied = query.shed_load(sub_batch, allowed)
+        cycles = query.consume_cycles()
+        # The query was granted ``prediction * allowed`` cycles; consuming
+        # noticeably more than that is a violation the enforcer acts upon.
+        self.enforcer.record(name, expected_cycles=prediction * allowed,
+                             actual_cycles=cycles, bin_index=bin_index)
+        if features_pre is not None:
+            # Keep the regression history in full-batch terms: scale the
+            # measured cycles back up by the fraction the query reports.
+            scale = max(float(applied), 0.05)
+            runtime.predictor.observe(features_pre.values, cycles / scale)
+            runtime.extractor.commit(sub_batch)
+        return cycles, float(applied)

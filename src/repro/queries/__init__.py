@@ -1,0 +1,87 @@
+"""Standard CoMo query set (Table 2.2) plus the Chapter 6 misbehaving variants.
+
+The :func:`standard_queries` factory returns fresh instances of the query set
+used throughout the evaluation; experiments select subsets by name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from ..monitor.query import Query
+from .application import ApplicationQuery
+from .autofocus import AutofocusQuery
+from .counter import CounterQuery
+from .flows import FlowsQuery
+from .high_watermark import HighWatermarkQuery
+from .p2p_detector import (BuggyP2PDetectorQuery, P2PDetectorQuery,
+                           SelfishP2PDetectorQuery)
+from .pattern_search import PatternSearchQuery
+from .super_sources import SuperSourcesQuery
+from .top_k import TopKQuery
+from .trace import TraceQuery
+
+__all__ = [
+    "ApplicationQuery",
+    "AutofocusQuery",
+    "CounterQuery",
+    "FlowsQuery",
+    "HighWatermarkQuery",
+    "P2PDetectorQuery",
+    "SelfishP2PDetectorQuery",
+    "BuggyP2PDetectorQuery",
+    "PatternSearchQuery",
+    "SuperSourcesQuery",
+    "TopKQuery",
+    "TraceQuery",
+    "QUERY_CLASSES",
+    "standard_queries",
+    "make_query",
+]
+
+#: Name -> class for the standard query set.
+QUERY_CLASSES: Dict[str, type] = {
+    "application": ApplicationQuery,
+    "autofocus": AutofocusQuery,
+    "counter": CounterQuery,
+    "flows": FlowsQuery,
+    "high-watermark": HighWatermarkQuery,
+    "p2p-detector": P2PDetectorQuery,
+    "pattern-search": PatternSearchQuery,
+    "super-sources": SuperSourcesQuery,
+    "top-k": TopKQuery,
+    "trace": TraceQuery,
+}
+
+#: The seven queries of the Chapter 3/4 validation (Table 3.2).
+VALIDATION_SEVEN = (
+    "application", "counter", "flows", "high-watermark",
+    "pattern-search", "top-k", "trace",
+)
+
+#: The nine queries of the Chapter 5 evaluation (Table 5.2).
+EVALUATION_NINE = (
+    "application", "autofocus", "counter", "flows", "high-watermark",
+    "pattern-search", "super-sources", "top-k", "trace",
+)
+
+
+def make_query(kind: str, **kwargs) -> Query:
+    """Instantiate one standard query by its registry name.
+
+    Keyword arguments are forwarded to the query constructor; in particular
+    ``name=...`` gives the instance a distinct name so several copies of the
+    same query class can run side by side.
+    """
+    try:
+        cls = QUERY_CLASSES[kind]
+    except KeyError:
+        raise KeyError(f"unknown query {kind!r}; "
+                       f"available: {sorted(QUERY_CLASSES)}") from None
+    return cls(**kwargs)
+
+
+def standard_queries(names: Optional[Iterable[str]] = None) -> List[Query]:
+    """Fresh instances of the named queries (default: all ten)."""
+    selected = list(names) if names is not None else sorted(QUERY_CLASSES)
+    return [make_query(name) for name in selected]

@@ -1,0 +1,88 @@
+"""Application query: port-based application classification (Table 2.2).
+
+Maintains per-application packet and byte counters, where the application is
+determined by the destination (or source) transport port.  Cost is linear in
+the number of packets.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Tuple
+
+import numpy as np
+
+from ..core.sampling import scale_estimate
+from ..monitor.packet import Batch
+from ..monitor.query import SAMPLING_PACKET, Query
+
+#: Port-to-application mapping used by the classifier; anything else is
+#: accounted under ``other``.
+PORT_APPLICATIONS: Dict[int, str] = {
+    80: "http",
+    443: "https",
+    53: "dns",
+    25: "smtp",
+    22: "ssh",
+    6881: "p2p",
+    6346: "p2p",
+    8080: "http-alt",
+}
+
+
+class ApplicationQuery(Query):
+    """Breaks traffic down into application classes by port number."""
+
+    name = "application"
+    sampling_method = SAMPLING_PACKET
+    minimum_sampling_rate = 0.03
+    measurement_interval = 1.0
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._packets: Dict[str, float] = defaultdict(float)
+        self._bytes: Dict[str, float] = defaultdict(float)
+
+    def reset(self) -> None:
+        super().reset()
+        self._packets = defaultdict(float)
+        self._bytes = defaultdict(float)
+
+    @staticmethod
+    def _classify(batch: Batch) -> Tuple[np.ndarray, list]:
+        """Return per-packet application indices and the label list."""
+        labels = sorted(set(PORT_APPLICATIONS.values())) + ["other"]
+        label_index = {label: i for i, label in enumerate(labels)}
+        app_idx = np.full(len(batch), label_index["other"], dtype=np.int64)
+        for port, label in PORT_APPLICATIONS.items():
+            mask = (batch.dst_port == port) | (batch.src_port == port)
+            app_idx[mask] = label_index[label]
+        return app_idx, labels
+
+    def update(self, batch: Batch, sampling_rate: float) -> None:
+        n = len(batch)
+        # One table lookup plus two counter updates per packet.
+        self.charge("hash_lookup", n * 0.2)
+        self.charge("counter_update", 2 * n)
+        if n == 0:
+            return
+        app_idx, labels = self._classify(batch)
+        pkt_counts = np.bincount(app_idx, minlength=len(labels))
+        byte_counts = np.bincount(app_idx, weights=batch.size,
+                                  minlength=len(labels))
+        for i, label in enumerate(labels):
+            if pkt_counts[i]:
+                self._packets[label] += scale_estimate(pkt_counts[i],
+                                                       sampling_rate)
+                self._bytes[label] += scale_estimate(byte_counts[i],
+                                                     sampling_rate)
+
+    def interval_result(self) -> Dict[str, object]:
+        self.charge("flush")
+        result = {
+            "packets_by_app": dict(self._packets),
+            "bytes_by_app": dict(self._bytes),
+        }
+        self._packets = defaultdict(float)
+        self._bytes = defaultdict(float)
+        return result

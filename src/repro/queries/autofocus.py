@@ -1,0 +1,95 @@
+"""Autofocus query: high-volume traffic clusters per subnet (Table 2.2).
+
+A uni-dimensional version of the Autofocus algorithm (Estan et al.): traffic
+is aggregated hierarchically over destination prefixes (/8, /16, /24, /32)
+and the query reports the clusters whose volume exceeds a threshold fraction
+of the total traffic, after removing clusters already explained by a more
+specific reported prefix (the "delta report").
+
+Accuracy under sampling is the fraction of reported clusters that match the
+reference report (Section 2.2.1), which makes the query relatively sensitive
+to sampling — its minimum sampling rate in Table 5.2 is 0.69.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from ..core.sampling import scale_estimate
+from ..monitor.packet import Batch
+from ..monitor.query import SAMPLING_PACKET, Query
+
+#: Prefix lengths of the uni-dimensional hierarchy, most specific first.
+PREFIX_LENGTHS: Tuple[int, ...] = (32, 24, 16, 8)
+
+
+class AutofocusQuery(Query):
+    """Reports destination-prefix clusters carrying a significant volume."""
+
+    name = "autofocus"
+    sampling_method = SAMPLING_PACKET
+    minimum_sampling_rate = 0.69
+    measurement_interval = 1.0
+
+    def __init__(self, threshold_fraction: float = 0.02, **kwargs) -> None:
+        super().__init__(**kwargs)
+        if not 0.0 < threshold_fraction < 1.0:
+            raise ValueError("threshold_fraction must be in (0, 1)")
+        self.threshold_fraction = float(threshold_fraction)
+        self._volumes: Dict[int, Dict[int, float]] = {
+            plen: defaultdict(float) for plen in PREFIX_LENGTHS}
+        self._total_bytes = 0.0
+
+    def reset(self) -> None:
+        super().reset()
+        self._volumes = {plen: defaultdict(float) for plen in PREFIX_LENGTHS}
+        self._total_bytes = 0.0
+
+    def update(self, batch: Batch, sampling_rate: float) -> None:
+        n = len(batch)
+        # One tree node visit per prefix level per packet.
+        self.charge("tree_op", n * len(PREFIX_LENGTHS))
+        if n == 0:
+            return
+        self._total_bytes += scale_estimate(batch.byte_count, sampling_rate)
+        for plen in PREFIX_LENGTHS:
+            shift = 32 - plen
+            prefixes = (batch.dst_ip >> shift).astype(np.int64)
+            unique, inverse = np.unique(prefixes, return_inverse=True)
+            byte_counts = np.bincount(inverse, weights=batch.size)
+            table = self._volumes[plen]
+            for prefix, volume in zip(unique, byte_counts):
+                table[int(prefix)] += scale_estimate(volume, sampling_rate)
+
+    def _delta_report(self) -> List[Tuple[int, int]]:
+        """Clusters above threshold not explained by a more specific cluster."""
+        threshold = self.threshold_fraction * max(self._total_bytes, 1.0)
+        reported: List[Tuple[int, int]] = []
+        explained: Dict[int, Set[int]] = {plen: set() for plen in PREFIX_LENGTHS}
+        for level, plen in enumerate(PREFIX_LENGTHS):
+            for prefix, volume in self._volumes[plen].items():
+                if volume < threshold:
+                    continue
+                if prefix in explained[plen]:
+                    continue
+                reported.append((prefix, plen))
+                # Mark the ancestors of this prefix as explained.
+                for coarser in PREFIX_LENGTHS[level + 1:]:
+                    explained[coarser].add(prefix >> (plen - coarser))
+        return reported
+
+    def interval_result(self) -> Dict[str, object]:
+        self.charge("flush")
+        self.charge("tree_op",
+                    sum(len(t) for t in self._volumes.values()))
+        clusters = self._delta_report()
+        result = {
+            "clusters": clusters,
+            "total_bytes": self._total_bytes,
+        }
+        self._volumes = {plen: defaultdict(float) for plen in PREFIX_LENGTHS}
+        self._total_bytes = 0.0
+        return result

@@ -1,0 +1,50 @@
+"""High-watermark query: peak link utilisation over time (Table 2.2).
+
+Tracks the maximum traffic volume observed in any sub-interval (one time bin)
+within the measurement interval.  Cost is linear in the number of packets.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.sampling import scale_estimate
+from ..monitor.packet import Batch
+from ..monitor.query import SAMPLING_PACKET, Query
+
+
+class HighWatermarkQuery(Query):
+    """High watermark of link utilisation (bytes per time bin)."""
+
+    name = "high-watermark"
+    sampling_method = SAMPLING_PACKET
+    minimum_sampling_rate = 0.15
+    measurement_interval = 1.0
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._watermark_bytes = 0.0
+        self._watermark_packets = 0.0
+
+    def reset(self) -> None:
+        super().reset()
+        self._watermark_bytes = 0.0
+        self._watermark_packets = 0.0
+
+    def update(self, batch: Batch, sampling_rate: float) -> None:
+        n = len(batch)
+        self.charge("counter_update", 2 * n)
+        bin_bytes = scale_estimate(batch.byte_count, sampling_rate)
+        bin_packets = scale_estimate(n, sampling_rate)
+        self._watermark_bytes = max(self._watermark_bytes, bin_bytes)
+        self._watermark_packets = max(self._watermark_packets, bin_packets)
+
+    def interval_result(self) -> Dict[str, float]:
+        self.charge("flush")
+        result = {
+            "watermark_bytes": self._watermark_bytes,
+            "watermark_packets": self._watermark_packets,
+        }
+        self._watermark_bytes = 0.0
+        self._watermark_packets = 0.0
+        return result

@@ -1,0 +1,201 @@
+"""P2P detector query: signature-based peer-to-peer flow detection (Table 2.2).
+
+Combines payload signature matching (BitTorrent / Gnutella / Kazaa handshake
+strings) with the well-known-port heuristic to flag flows as peer-to-peer,
+following the approach of Karagiannis et al. and Sen et al. cited in the
+paper.  This is the most expensive query of the standard set and the running
+example of Chapter 6:
+
+* under *packet* sampling its accuracy collapses quickly, because dropping
+  the single packet that carries the handshake makes the whole flow
+  undetectable (Figure 6.4);
+* with a *custom* load shedding method that samples whole flows internally,
+  the query keeps a much higher accuracy for the same resource usage
+  (Figures 6.1 and 6.2).
+
+Besides the cooperative custom-shedding variant, this module provides the
+*selfish* and *buggy* variants used in Sections 6.3.4 and 6.3.5 to exercise
+the enforcement policy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+import numpy as np
+
+from ..core.hashing import H3Hash, combine_columns
+from ..core.sampling import scale_estimate
+from ..monitor.packet import Batch
+from ..monitor.query import SAMPLING_CUSTOM, SAMPLING_PACKET, Query
+from ..traffic.generator import P2P_SIGNATURES
+
+#: Transport ports commonly associated with P2P protocols.
+P2P_PORTS: Tuple[int, ...] = (6881, 6882, 6883, 6346, 6347, 4662, 1214)
+
+
+class P2PDetectorQuery(Query):
+    """Signature plus port-heuristic P2P flow detector.
+
+    Parameters
+    ----------
+    custom_shedding:
+        When True the query registers a custom load shedding method that
+        samples whole flows internally instead of relying on system packet
+        sampling.
+    """
+
+    name = "p2p-detector"
+    sampling_method = SAMPLING_PACKET
+    minimum_sampling_rate = 0.60
+    measurement_interval = 1.0
+    needs_payload = True
+
+    #: Number of signature-carrying (handshake) packets that must be observed
+    #: before a flow is flagged as P2P; signature-based detectors need to see
+    #: the handshake exchange, not just one direction.
+    handshake_packets = 2
+
+    def __init__(self, custom_shedding: bool = False, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.custom_shedding = bool(custom_shedding)
+        if custom_shedding:
+            self.sampling_method = SAMPLING_CUSTOM
+        self._flows_seen: Set[int] = set()
+        self._signature_hits: Dict[int, int] = {}
+        self._p2p_flows: Set[int] = set()
+        self._sampling_rate = 1.0
+        self._flow_hash = H3Hash(rng=np.random.default_rng(7))
+
+    def reset(self) -> None:
+        super().reset()
+        self._flows_seen = set()
+        self._signature_hits = {}
+        self._p2p_flows = set()
+        self._sampling_rate = 1.0
+
+    # ------------------------------------------------------------------
+    # Detection logic
+    # ------------------------------------------------------------------
+    def _scan_batch(self, batch: Batch) -> None:
+        """Process every packet of ``batch`` (already reduced, if at all)."""
+        n = len(batch)
+        self.charge("hash_lookup", n)
+        if n == 0:
+            return
+        keys = combine_columns(batch.columns(
+            ("src_ip", "dst_ip", "src_port", "dst_port", "proto")))
+        new_flows = set(int(k) for k in np.unique(keys)) - self._flows_seen
+        self.charge("hash_insert", len(new_flows))
+        self._flows_seen.update(new_flows)
+
+        port_hit = np.isin(batch.dst_port, P2P_PORTS) | \
+            np.isin(batch.src_port, P2P_PORTS)
+        payloads = batch.payloads if batch.has_payloads else None
+        scanned_bytes = 0
+        for i in range(n):
+            flow = int(keys[i])
+            if flow in self._p2p_flows:
+                continue
+            signature_hit = False
+            if payloads is not None and payloads[i]:
+                payload = payloads[i]
+                scanned_bytes += len(payload)
+                signature_hit = any(payload.find(sig) >= 0
+                                    for sig in P2P_SIGNATURES)
+            if signature_hit:
+                hits = self._signature_hits.get(flow, 0) + 1
+                self._signature_hits[flow] = hits
+                if hits >= self.handshake_packets:
+                    self._p2p_flows.add(flow)
+            elif payloads is None and bool(port_hit[i]):
+                # Header-only traffic: fall back to the port heuristic alone.
+                self._p2p_flows.add(flow)
+        self.charge("regex_byte", scanned_bytes * len(P2P_SIGNATURES))
+
+    def update(self, batch: Batch, sampling_rate: float) -> None:
+        self._sampling_rate = sampling_rate
+        self._scan_batch(batch)
+
+    # ------------------------------------------------------------------
+    # Custom load shedding (Chapter 6)
+    # ------------------------------------------------------------------
+    def shed_load(self, batch: Batch, target_fraction: float) -> float:
+        """Flow-sample the batch internally down to ``target_fraction``.
+
+        Whole flows survive together, so the handshake packet of a surviving
+        flow is never lost; the per-interval flow counts are scaled by the
+        applied fraction when results are reported.
+        """
+        if not self.custom_shedding:
+            raise NotImplementedError(
+                "custom shedding is disabled for this instance")
+        fraction = float(min(1.0, max(0.0, target_fraction)))
+        self._sampling_rate = fraction
+        if fraction >= 1.0 or len(batch) == 0:
+            self._scan_batch(batch)
+            return 1.0
+        if fraction <= 0.0:
+            return 0.0
+        keys = combine_columns(batch.columns(
+            ("src_ip", "dst_ip", "src_port", "dst_port", "proto")))
+        keep = self._flow_hash.unit_interval(keys) < fraction
+        self.charge("packet", len(batch))  # hashing every packet has a cost
+        self._scan_batch(batch.select(keep))
+        kept = int(keep.sum())
+        return kept / len(batch)
+
+    # ------------------------------------------------------------------
+    def interval_result(self) -> Dict[str, object]:
+        self.charge("flush")
+        result = {
+            "p2p_flows": sorted(self._p2p_flows),
+            "flows_seen": scale_estimate(len(self._flows_seen),
+                                         self._sampling_rate),
+            "p2p_flow_count": scale_estimate(len(self._p2p_flows),
+                                             self._sampling_rate),
+        }
+        self._flows_seen = set()
+        self._signature_hits = {}
+        self._p2p_flows = set()
+        return result
+
+
+class SelfishP2PDetectorQuery(P2PDetectorQuery):
+    """A selfish variant that ignores the shedding request (Section 6.3.4).
+
+    It always processes the full batch to maximise its own accuracy, yet
+    reports that it complied with the requested fraction.  The enforcement
+    policy must detect the excess consumption and disable it.
+    """
+
+    name = "p2p-detector-selfish"
+
+    def __init__(self, **kwargs) -> None:
+        kwargs.setdefault("custom_shedding", True)
+        super().__init__(**kwargs)
+
+    def shed_load(self, batch: Batch, target_fraction: float) -> float:
+        self._sampling_rate = 1.0
+        self._scan_batch(batch)       # ignores the request entirely
+        return float(target_fraction)  # ...and lies about it
+
+
+class BuggyP2PDetectorQuery(P2PDetectorQuery):
+    """A buggy variant whose custom method sheds far too little (Section 6.3.5).
+
+    The implementation confuses the target fraction with its square root, so
+    it systematically consumes more cycles than it was granted without any
+    malicious intent.  The enforcement policy corrects and eventually
+    disables it.
+    """
+
+    name = "p2p-detector-buggy"
+
+    def __init__(self, **kwargs) -> None:
+        kwargs.setdefault("custom_shedding", True)
+        super().__init__(**kwargs)
+
+    def shed_load(self, batch: Batch, target_fraction: float) -> float:
+        buggy_fraction = float(np.sqrt(min(1.0, max(0.0, target_fraction))))
+        return super().shed_load(batch, buggy_fraction)

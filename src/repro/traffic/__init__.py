@@ -1,0 +1,29 @@
+"""Synthetic traffic substrate: generation, anomalies, presets and trace I/O."""
+
+from .anomalies import (AnomalyWindow, byte_burst, ddos_attack, flow_spike,
+                        inject, syn_flood, worm_outbreak)
+from .generator import (ATTACK_SIGNATURE, P2P_SIGNATURES, ApplicationProfile,
+                        TrafficProfile, generate_trace, merge_traces)
+from .models import TRACE_PROFILES, load_preset, trace_profile
+from .trace_io import load_trace, save_trace
+
+__all__ = [
+    "ATTACK_SIGNATURE",
+    "AnomalyWindow",
+    "ApplicationProfile",
+    "P2P_SIGNATURES",
+    "TRACE_PROFILES",
+    "TrafficProfile",
+    "byte_burst",
+    "ddos_attack",
+    "flow_spike",
+    "generate_trace",
+    "inject",
+    "load_preset",
+    "load_trace",
+    "merge_traces",
+    "save_trace",
+    "syn_flood",
+    "trace_profile",
+    "worm_outbreak",
+]

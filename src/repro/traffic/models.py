@@ -1,0 +1,87 @@
+"""Named trace presets modelled on the paper's datasets (Table 2.3).
+
+The real CESCA / UPC / ABILENE / CENIC traces are not available; these
+presets configure the synthetic generator so that the relative properties
+that matter to the experiments are preserved:
+
+* CESCA-I: header-only, moderate load;
+* CESCA-II: full payloads, lower packet rate but payload-heavy;
+* ABILENE: backbone-like, higher aggregate load, header-only;
+* CENIC: backbone-like, very bursty, header-only;
+* UPC-I: access-link, full payloads.
+
+Durations are scaled down (seconds instead of 30 minutes) so the full
+benchmark suite completes quickly; all experiments accept an explicit
+profile for larger runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict
+
+from ..monitor.packet import PacketTrace
+from .generator import TrafficProfile, generate_trace
+
+#: Named profiles; durations/rates scaled for laptop-scale runs.
+TRACE_PROFILES: Dict[str, TrafficProfile] = {
+    "CESCA-I": TrafficProfile(
+        name="CESCA-I",
+        duration=30.0,
+        flow_arrival_rate=260.0,
+        burstiness=0.35,
+        with_payloads=False,
+    ),
+    "CESCA-II": TrafficProfile(
+        name="CESCA-II",
+        duration=30.0,
+        flow_arrival_rate=170.0,
+        burstiness=0.30,
+        with_payloads=True,
+        mean_payload_bytes=220,
+    ),
+    "ABILENE": TrafficProfile(
+        name="ABILENE",
+        duration=30.0,
+        flow_arrival_rate=420.0,
+        burstiness=0.25,
+        with_payloads=False,
+    ),
+    "CENIC": TrafficProfile(
+        name="CENIC",
+        duration=30.0,
+        flow_arrival_rate=330.0,
+        burstiness=0.6,
+        burst_period=4.0,
+        with_payloads=False,
+    ),
+    "UPC-I": TrafficProfile(
+        name="UPC-I",
+        duration=30.0,
+        flow_arrival_rate=230.0,
+        burstiness=0.4,
+        with_payloads=True,
+        mean_payload_bytes=260,
+    ),
+}
+
+
+def trace_profile(name: str, duration: float = None,
+                  **overrides) -> TrafficProfile:
+    """Return a copy of a named profile with optional overrides."""
+    if name not in TRACE_PROFILES:
+        raise KeyError(f"unknown trace preset {name!r}; "
+                       f"available: {sorted(TRACE_PROFILES)}")
+    profile = TRACE_PROFILES[name]
+    if duration is not None:
+        overrides["duration"] = duration
+    if overrides:
+        profile = replace(profile, **overrides)
+    return profile
+
+
+def load_preset(name: str, seed: int = 0, duration: float = None,
+                **overrides) -> PacketTrace:
+    """Generate a trace from one of the named presets."""
+    return generate_trace(trace_profile(name, duration=duration, **overrides),
+                          seed=seed)

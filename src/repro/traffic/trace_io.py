@@ -1,0 +1,73 @@
+"""Saving and loading packet traces.
+
+Traces are stored as NumPy ``.npz`` archives holding the column arrays plus
+optional payloads.  This gives reproducible, self-contained trace files that
+examples and long experiments can reuse without regenerating traffic.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from ..monitor.packet import Batch, PacketTrace
+
+_FORMAT_VERSION = 1
+
+
+def save_trace(trace: PacketTrace, path: Union[str, Path]) -> Path:
+    """Write ``trace`` to ``path`` (an ``.npz`` archive).  Returns the path."""
+    path = Path(path)
+    pkts = trace.packets
+    payload = {}
+    if pkts.payloads is not None:
+        lengths = np.array([len(p) for p in pkts.payloads], dtype=np.int64)
+        blob = b"".join(pkts.payloads)
+        payload = {
+            "payload_lengths": lengths,
+            "payload_blob": np.frombuffer(blob, dtype=np.uint8),
+        }
+    meta = json.dumps({"name": trace.name, "version": _FORMAT_VERSION})
+    np.savez_compressed(
+        path,
+        ts=pkts.ts,
+        src_ip=pkts.src_ip,
+        dst_ip=pkts.dst_ip,
+        src_port=pkts.src_port,
+        dst_port=pkts.dst_port,
+        proto=pkts.proto,
+        size=pkts.size,
+        meta=np.frombuffer(meta.encode("utf-8"), dtype=np.uint8),
+        **payload,
+    )
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_trace(path: Union[str, Path]) -> PacketTrace:
+    """Load a trace previously written by :func:`save_trace`."""
+    path = Path(path)
+    with np.load(path) as data:
+        meta = json.loads(bytes(data["meta"]).decode("utf-8"))
+        payloads: Optional[list] = None
+        if "payload_lengths" in data:
+            lengths = data["payload_lengths"]
+            blob = bytes(data["payload_blob"])
+            payloads = []
+            offset = 0
+            for length in lengths:
+                payloads.append(blob[offset:offset + int(length)])
+                offset += int(length)
+        packets = Batch(
+            ts=data["ts"],
+            src_ip=data["src_ip"],
+            dst_ip=data["dst_ip"],
+            src_port=data["src_port"],
+            dst_port=data["dst_port"],
+            proto=data["proto"],
+            size=data["size"],
+            payloads=payloads,
+        )
+    return PacketTrace(packets, name=meta.get("name", path.stem))

@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.monitor.packet import Batch, PacketTrace
+from repro.traffic import TrafficProfile, generate_trace
+
+
+def make_batch(n=100, seed=0, start_ts=0.0, time_bin=0.1, payloads=False,
+               n_hosts=20):
+    """Small synthetic batch with a controllable number of distinct hosts."""
+    rng = np.random.default_rng(seed)
+    src = rng.integers(1, n_hosts + 1, size=n).astype(np.uint32)
+    dst = rng.integers(1000, 1000 + n_hosts, size=n).astype(np.uint32)
+    batch = Batch(
+        ts=start_ts + np.sort(rng.uniform(0, time_bin, size=n)),
+        src_ip=src,
+        dst_ip=dst,
+        src_port=rng.integers(1024, 65535, size=n).astype(np.uint16),
+        dst_port=rng.choice([80, 443, 53, 6881], size=n).astype(np.uint16),
+        proto=np.full(n, 6, dtype=np.uint8),
+        size=rng.integers(40, 1500, size=n).astype(np.uint32),
+        payloads=[bytes(rng.integers(32, 127, size=50, dtype=np.uint8))
+                  for _ in range(n)] if payloads else None,
+        time_bin=time_bin,
+        start_ts=start_ts,
+    )
+    return batch
+
+
+@pytest.fixture
+def small_batch():
+    return make_batch(n=200, seed=1)
+
+
+@pytest.fixture(scope="session")
+def small_trace():
+    """A short header-only trace shared by many tests."""
+    profile = TrafficProfile(duration=4.0, flow_arrival_rate=150.0,
+                             with_payloads=False, name="test-header")
+    return generate_trace(profile, seed=3)
+
+
+@pytest.fixture(scope="session")
+def payload_trace_small():
+    """A short full-payload trace shared by payload-query tests."""
+    profile = TrafficProfile(duration=4.0, flow_arrival_rate=120.0,
+                             with_payloads=True, name="test-payload")
+    return generate_trace(profile, seed=4)

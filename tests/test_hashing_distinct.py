@@ -1,0 +1,182 @@
+"""Tests for hashing and distinct counting, including property-based tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.distinct import (ExactDistinctCounter, MultiResolutionBitmap,
+                                 make_counter)
+from repro.core.hashing import (H3Hash, combine_columns,
+                                hash_to_unit_interval, mix64)
+
+
+class TestMix64:
+    def test_deterministic(self):
+        keys = np.arange(100, dtype=np.uint64)
+        assert np.array_equal(mix64(keys), mix64(keys))
+
+    def test_distinct_inputs_rarely_collide(self):
+        keys = np.arange(100000, dtype=np.uint64)
+        hashes = mix64(keys)
+        assert len(np.unique(hashes)) == len(keys)
+
+    def test_unit_interval_uniformity(self):
+        keys = np.arange(50000, dtype=np.uint64)
+        unit = hash_to_unit_interval(mix64(keys))
+        assert 0.0 <= unit.min() and unit.max() < 1.0
+        assert abs(unit.mean() - 0.5) < 0.02
+
+
+class TestCombineColumns:
+    def test_order_sensitivity(self):
+        a = np.array([1, 2, 3], dtype=np.uint32)
+        b = np.array([4, 5, 6], dtype=np.uint32)
+        assert not np.array_equal(combine_columns([a, b]),
+                                  combine_columns([b, a]))
+
+    def test_requires_columns(self):
+        with pytest.raises(ValueError):
+            combine_columns([])
+
+
+class TestH3Hash:
+    def test_deterministic_per_instance(self):
+        h = H3Hash(rng=np.random.default_rng(1))
+        keys = np.arange(1000, dtype=np.uint64)
+        assert np.array_equal(h(keys), h(keys))
+
+    def test_different_instances_differ(self):
+        keys = np.arange(1000, dtype=np.uint64)
+        h1 = H3Hash(rng=np.random.default_rng(1))
+        h2 = H3Hash(rng=np.random.default_rng(2))
+        assert not np.array_equal(h1(keys), h2(keys))
+
+    def test_unit_interval_uniform(self):
+        h = H3Hash(rng=np.random.default_rng(3))
+        keys = mix64(np.arange(20000, dtype=np.uint64))
+        unit = h.unit_interval(keys)
+        assert 0.0 <= unit.min() and unit.max() < 1.0
+        assert abs(unit.mean() - 0.5) < 0.03
+
+    def test_out_bits_validation(self):
+        with pytest.raises(ValueError):
+            H3Hash(out_bits=0)
+        with pytest.raises(ValueError):
+            H3Hash(key_bits=70)
+
+
+class TestExactCounter:
+    def test_counts_distinct(self):
+        counter = ExactDistinctCounter()
+        counter.add_hashes(np.array([1, 2, 2, 3], dtype=np.uint64))
+        counter.add_hashes(np.array([3, 4], dtype=np.uint64))
+        assert counter.estimate() == 4
+
+    def test_merge_and_copy(self):
+        a = ExactDistinctCounter()
+        b = ExactDistinctCounter()
+        a.add_hashes(np.array([1, 2], dtype=np.uint64))
+        b.add_hashes(np.array([2, 3], dtype=np.uint64))
+        c = a.copy()
+        c.merge(b)
+        assert c.estimate() == 3
+        assert a.estimate() == 2  # copy did not alias
+
+    def test_reset(self):
+        counter = ExactDistinctCounter()
+        counter.add_hashes(np.array([1], dtype=np.uint64))
+        counter.reset()
+        assert counter.estimate() == 0
+
+
+class TestMultiResolutionBitmap:
+    @pytest.mark.parametrize("cardinality", [100, 1000, 10000, 50000])
+    def test_estimation_accuracy(self, cardinality):
+        counter = MultiResolutionBitmap()
+        keys = mix64(np.arange(cardinality, dtype=np.uint64))
+        counter.add_hashes(keys)
+        estimate = counter.estimate()
+        assert abs(estimate - cardinality) / cardinality < 0.12
+
+    def test_duplicates_do_not_inflate(self):
+        counter = MultiResolutionBitmap()
+        keys = mix64(np.arange(2000, dtype=np.uint64))
+        counter.add_hashes(keys)
+        first = counter.estimate()
+        counter.add_hashes(keys)
+        assert counter.estimate() == pytest.approx(first)
+
+    def test_merge_is_union(self):
+        a = MultiResolutionBitmap()
+        b = MultiResolutionBitmap()
+        keys_a = mix64(np.arange(0, 3000, dtype=np.uint64))
+        keys_b = mix64(np.arange(1500, 4500, dtype=np.uint64))
+        a.add_hashes(keys_a)
+        b.add_hashes(keys_b)
+        a.merge(b)
+        assert abs(a.estimate() - 4500) / 4500 < 0.15
+
+    def test_merge_geometry_mismatch(self):
+        a = MultiResolutionBitmap(num_components=4)
+        b = MultiResolutionBitmap(num_components=8)
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_empty_estimate_is_zero(self):
+        assert MultiResolutionBitmap().estimate() < 5.0
+
+    def test_memory_bits(self):
+        bitmap = MultiResolutionBitmap(num_components=4, bits_per_component=256)
+        assert bitmap.memory_bits == 1024
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            MultiResolutionBitmap(num_components=0)
+        with pytest.raises(ValueError):
+            MultiResolutionBitmap(bits_per_component=4)
+
+
+class TestFactory:
+    def test_make_counter(self):
+        assert isinstance(make_counter("exact"), ExactDistinctCounter)
+        assert isinstance(make_counter("bitmap"), MultiResolutionBitmap)
+        with pytest.raises(ValueError):
+            make_counter("nope")
+
+
+class TestDistinctProperties:
+    """Property-based tests on the distinct counters."""
+
+    @given(st.lists(st.integers(min_value=0, max_value=2 ** 40),
+                    min_size=0, max_size=500))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_counter_matches_set(self, values):
+        counter = ExactDistinctCounter()
+        counter.add_hashes(mix64(np.array(values, dtype=np.uint64)))
+        assert counter.estimate() == len(set(values))
+
+    @given(st.integers(min_value=1, max_value=5000))
+    @settings(max_examples=20, deadline=None)
+    def test_bitmap_monotone_in_cardinality(self, cardinality):
+        counter = MultiResolutionBitmap()
+        keys = mix64(np.arange(cardinality, dtype=np.uint64))
+        counter.add_hashes(keys)
+        estimate = counter.estimate()
+        assert estimate >= 0
+        assert abs(estimate - cardinality) <= max(0.2 * cardinality, 10)
+
+    @given(st.lists(st.integers(min_value=0, max_value=2 ** 30), min_size=1,
+                    max_size=300),
+           st.lists(st.integers(min_value=0, max_value=2 ** 30), min_size=1,
+                    max_size=300))
+    @settings(max_examples=25, deadline=None)
+    def test_merge_upper_bounds_components(self, left, right):
+        a = ExactDistinctCounter()
+        b = ExactDistinctCounter()
+        a.add_hashes(mix64(np.array(left, dtype=np.uint64)))
+        b.add_hashes(mix64(np.array(right, dtype=np.uint64)))
+        union = a.copy()
+        union.merge(b)
+        assert union.estimate() >= max(a.estimate(), b.estimate())
+        assert union.estimate() <= a.estimate() + b.estimate()

@@ -1,0 +1,217 @@
+"""Tests for sampling mechanisms, fairness strategies and the allocation game."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import game
+from repro.core.fairness import (QueryDemand, eq_srates, get_strategy,
+                                 mmfs_cpu, mmfs_pkt)
+from repro.core.sampling import FlowSampler, PacketSampler, scale_estimate
+from repro.core.hashing import combine_columns
+from tests.conftest import make_batch
+
+
+class TestPacketSampler:
+    def test_rate_one_keeps_everything(self, small_batch):
+        sampler = PacketSampler(np.random.default_rng(0))
+        assert len(sampler.sample(small_batch, 1.0)) == len(small_batch)
+
+    def test_rate_zero_keeps_nothing(self, small_batch):
+        sampler = PacketSampler(np.random.default_rng(0))
+        assert len(sampler.sample(small_batch, 0.0)) == 0
+
+    def test_expected_fraction(self):
+        batch = make_batch(n=5000, seed=3)
+        sampler = PacketSampler(np.random.default_rng(1))
+        kept = len(sampler.sample(batch, 0.3))
+        assert abs(kept / 5000 - 0.3) < 0.05
+
+    def test_invalid_rate(self, small_batch):
+        sampler = PacketSampler()
+        with pytest.raises(ValueError):
+            sampler.sample(small_batch, float("nan"))
+
+    def test_cost_positive(self, small_batch):
+        assert PacketSampler().cost(small_batch) > 0
+
+
+class TestFlowSampler:
+    def test_flow_atomicity(self):
+        batch = make_batch(n=2000, seed=5, n_hosts=30)
+        sampler = FlowSampler(np.random.default_rng(2))
+        sampled = sampler.sample(batch, 0.5)
+        kept_keys = set(combine_columns(sampled.columns(
+            ("src_ip", "dst_ip", "src_port", "dst_port", "proto"))).tolist())
+        all_keys = combine_columns(batch.columns(
+            ("src_ip", "dst_ip", "src_port", "dst_port", "proto")))
+        # Every packet of a kept flow must have been kept.
+        expected = sum(1 for key in all_keys if int(key) in kept_keys)
+        assert expected == len(sampled)
+
+    def test_expected_flow_fraction(self):
+        batch = make_batch(n=4000, seed=6, n_hosts=60)
+        sampler = FlowSampler(np.random.default_rng(3))
+        sampled = sampler.sample(batch, 0.4)
+        def flows(b):
+            return len(np.unique(combine_columns(b.columns(
+                ("src_ip", "dst_ip", "src_port", "dst_port", "proto")))))
+        fraction = flows(sampled) / flows(batch)
+        assert abs(fraction - 0.4) < 0.12
+
+    def test_hash_renewal_changes_selection(self):
+        batch = make_batch(n=1000, seed=7, n_hosts=40)
+        sampler = FlowSampler(np.random.default_rng(4))
+        first = sampler.sample(batch, 0.5)
+        sampler.renew_hash()
+        second = sampler.sample(batch, 0.5)
+        assert len(first) != len(second) or \
+            not np.array_equal(first.src_ip, second.src_ip)
+
+
+class TestScaleEstimate:
+    def test_inverse_scaling(self):
+        assert scale_estimate(50, 0.5) == 100.0
+        assert scale_estimate(50, 1.0) == 50.0
+        assert scale_estimate(50, 0.0) == 0.0
+
+    @given(st.floats(min_value=0.01, max_value=1.0),
+           st.floats(min_value=0.0, max_value=1e6))
+    @settings(max_examples=50, deadline=None)
+    def test_scale_monotone(self, rate, value):
+        assert scale_estimate(value, rate) >= value - 1e-9
+
+
+def _demands():
+    return [
+        QueryDemand("cheap", 100.0, 0.1),
+        QueryDemand("medium", 500.0, 0.2),
+        QueryDemand("heavy", 1000.0, 0.3),
+    ]
+
+
+class TestEqSrates:
+    def test_no_overload_full_rates(self):
+        allocation = eq_srates(_demands(), capacity=10000.0)
+        assert all(rate == 1.0 for rate in allocation.rates.values())
+
+    def test_common_rate_under_overload(self):
+        allocation = eq_srates(_demands(), capacity=800.0)
+        active_rates = {r for n, r in allocation.rates.items()
+                        if n not in allocation.disabled}
+        assert len(active_rates) == 1
+        assert allocation.total_cycles <= 800.0 + 1e-6
+
+    def test_disables_constrained_queries(self):
+        demands = [QueryDemand("strict", 1000.0, 0.9),
+                   QueryDemand("lenient", 1000.0, 0.0)]
+        allocation = eq_srates(demands, capacity=500.0)
+        assert "strict" in allocation.disabled
+        assert allocation.rates["lenient"] > 0
+
+    def test_zero_capacity(self):
+        allocation = eq_srates(_demands(), capacity=0.0)
+        assert set(allocation.disabled) == {"cheap", "medium", "heavy"}
+
+
+@pytest.mark.parametrize("strategy", [mmfs_cpu, mmfs_pkt])
+class TestMaxMinStrategies:
+    def test_feasible_allocation(self, strategy):
+        allocation = strategy(_demands(), capacity=900.0)
+        assert allocation.total_cycles <= 900.0 * (1 + 1e-6)
+        for demand in _demands():
+            rate = allocation.rates[demand.name]
+            assert 0.0 <= rate <= 1.0
+            if demand.name not in allocation.disabled:
+                assert rate >= demand.min_sampling_rate - 1e-9
+
+    def test_abundant_capacity_full_rates(self, strategy):
+        allocation = strategy(_demands(), capacity=1e9)
+        assert all(rate == pytest.approx(1.0)
+                   for rate in allocation.rates.values())
+
+    def test_largest_min_demand_disabled_first(self, strategy):
+        demands = [QueryDemand("big", 1000.0, 0.9),
+                   QueryDemand("small", 100.0, 0.5)]
+        allocation = strategy(demands, capacity=200.0)
+        assert "big" in allocation.disabled
+        assert "small" not in allocation.disabled
+
+    def test_zero_capacity_disables_all(self, strategy):
+        allocation = strategy(_demands(), capacity=0.0)
+        assert len(allocation.disabled) == 3
+
+
+class TestStrategySemantics:
+    def test_mmfs_pkt_equalises_rates(self):
+        demands = [QueryDemand("heavy", 1000.0, 0.0),
+                   QueryDemand("light", 10.0, 0.0)]
+        allocation = mmfs_pkt(demands, capacity=505.0)
+        assert allocation.rates["heavy"] == pytest.approx(
+            allocation.rates["light"], rel=1e-3)
+
+    def test_mmfs_cpu_equalises_cycles(self):
+        demands = [QueryDemand("heavy", 1000.0, 0.0),
+                   QueryDemand("light", 400.0, 0.0)]
+        allocation = mmfs_cpu(demands, capacity=600.0)
+        assert allocation.cycles["heavy"] == pytest.approx(
+            allocation.cycles["light"], rel=1e-3)
+
+    def test_mmfs_pkt_min_rate_floor_respected(self):
+        demands = [QueryDemand("constrained", 1000.0, 0.8),
+                   QueryDemand("free", 1000.0, 0.0)]
+        allocation = mmfs_pkt(demands, capacity=1000.0)
+        assert allocation.rates["constrained"] >= 0.8 - 1e-9
+
+    def test_get_strategy(self):
+        assert get_strategy("mmfs_pkt") is mmfs_pkt
+        assert get_strategy(mmfs_cpu) is mmfs_cpu
+        with pytest.raises(KeyError):
+            get_strategy("nope")
+
+    @given(st.lists(st.tuples(st.floats(min_value=1.0, max_value=1e4),
+                              st.floats(min_value=0.0, max_value=1.0)),
+                    min_size=1, max_size=8),
+           st.floats(min_value=0.0, max_value=2e4))
+    @settings(max_examples=60, deadline=None)
+    def test_allocations_always_feasible(self, specs, capacity):
+        demands = [QueryDemand(f"q{i}", cycles, min_rate)
+                   for i, (cycles, min_rate) in enumerate(specs)]
+        for strategy in (eq_srates, mmfs_cpu, mmfs_pkt):
+            allocation = strategy(demands, capacity)
+            assert allocation.total_cycles <= capacity * (1 + 1e-6) + 1e-6
+            for demand in demands:
+                rate = allocation.rates[demand.name]
+                assert -1e-9 <= rate <= 1.0 + 1e-9
+                if demand.name not in allocation.disabled:
+                    assert rate >= demand.min_sampling_rate - 1e-6
+
+
+class TestGame:
+    def test_equal_share_is_nash(self):
+        profile = game.equilibrium_profile(3, 9.0)
+        assert game.is_nash_equilibrium(profile, 9.0, grid=200)
+
+    def test_greedy_profile_is_not_nash(self):
+        assert not game.is_nash_equilibrium([9.0, 9.0, 9.0], 9.0, grid=200)
+
+    def test_payoffs_disable_largest(self):
+        payoffs = game.payoffs([2.0, 5.0, 6.0], capacity=10.0)
+        assert payoffs[2] == 0.0           # largest demand disabled
+        assert payoffs[0] > 2.0            # gets its demand plus spare
+        assert payoffs[1] > 5.0
+
+    def test_payoffs_negative_rejected(self):
+        with pytest.raises(ValueError):
+            game.payoffs([-1.0], 1.0)
+
+    def test_best_response_dynamics_converges(self):
+        final, rounds, converged = game.best_response_dynamics(
+            [0.2, 0.35], capacity=1.0, grid=100, max_rounds=200)
+        assert converged
+        assert np.allclose(final, [0.5, 0.5], atol=0.02)
+
+    def test_aggregate_utility_equilibrium_is_greedy(self):
+        profile = game.aggregate_utility_equilibrium(4, 8.0)
+        assert np.allclose(profile, 8.0)

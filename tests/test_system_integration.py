@@ -1,0 +1,194 @@
+"""Integration tests: the monitoring system end to end."""
+
+import numpy as np
+import pytest
+
+from repro.core.cycles import CycleBudget
+from repro.monitor.capture import CaptureBuffer
+from repro.monitor.system import MonitoringSystem
+from repro.queries import P2PDetectorQuery, SelfishP2PDetectorQuery, make_query
+from repro.experiments import runner
+
+
+QUERY_SET = ("counter", "flows", "top-k", "application")
+
+
+@pytest.fixture(scope="module")
+def calibrated(small_trace_module):
+    capacity, reference = runner.calibrate_capacity(QUERY_SET,
+                                                    small_trace_module)
+    return capacity, reference
+
+
+@pytest.fixture(scope="module")
+def small_trace_module():
+    from repro.traffic import TrafficProfile, generate_trace
+    profile = TrafficProfile(duration=4.0, flow_arrival_rate=150.0,
+                             name="integration")
+    return generate_trace(profile, seed=11)
+
+
+class TestCaptureBuffer:
+    def test_infinite_buffer_never_drops(self):
+        buffer = CaptureBuffer(None)
+        status = buffer.status(1e18)
+        assert not status.dropping and status.occupation == 0.0
+
+    def test_finite_buffer_fills(self):
+        buffer = CaptureBuffer(0.1, cycles_per_second=1e6)
+        assert buffer.capacity_cycles == pytest.approx(1e5)
+        assert buffer.status(5e4).occupation == pytest.approx(0.5)
+        assert buffer.status(2e5).dropping
+
+    def test_drop_accounting(self):
+        buffer = CaptureBuffer(0.1)
+        buffer.record_drop(500)
+        assert buffer.dropped_packets == 500
+        assert buffer.dropped_batches == 1
+
+
+class TestModes:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            MonitoringSystem(mode="warp-speed")
+
+    def test_mode_alias(self):
+        assert MonitoringSystem(mode="no_lshed").mode == "original"
+
+    def test_duplicate_query_rejected(self):
+        system = MonitoringSystem([make_query("counter")])
+        with pytest.raises(ValueError):
+            system.add_query(make_query("counter"))
+
+
+class TestReferenceExecution:
+    def test_reference_never_drops(self, small_trace_module):
+        system = MonitoringSystem([make_query(n) for n in QUERY_SET],
+                                  mode="reference",
+                                  budget=CycleBudget(1e6))  # tiny capacity
+        result = system.run(small_trace_module)
+        assert result.dropped_packets == 0
+        assert result.mean_sampling_rate() == 1.0
+
+    def test_interval_alignment_across_runs(self, small_trace_module):
+        system = MonitoringSystem([make_query("counter")], mode="reference")
+        first = system.run(small_trace_module)
+        second = system.run(small_trace_module)
+        assert len(first.query_logs["counter"]) == \
+            len(second.query_logs["counter"])
+        assert first.query_logs["counter"].results == \
+            second.query_logs["counter"].results
+
+    def test_counter_totals_match_trace(self, small_trace_module):
+        system = MonitoringSystem([make_query("counter")], mode="reference")
+        result = system.run(small_trace_module)
+        total = sum(r["packets"] for r in result.query_logs["counter"].results)
+        assert total == pytest.approx(len(small_trace_module))
+
+
+class TestPredictiveExecution:
+    def test_no_overload_no_shedding(self, small_trace_module, calibrated):
+        capacity, _ = calibrated
+        result = runner.run_system(QUERY_SET, small_trace_module,
+                                   capacity * 2.0, mode="predictive")
+        assert result.dropped_packets == 0
+        assert result.mean_sampling_rate() > 0.98
+
+    def test_overload_triggers_shedding_not_drops(self, small_trace_module,
+                                                  calibrated):
+        capacity, reference = calibrated
+        result = runner.run_system(QUERY_SET, small_trace_module,
+                                   capacity * 0.5, mode="predictive")
+        assert result.mean_sampling_rate() < 0.9
+        assert result.drop_fraction < 0.02
+        # CPU usage stays close to the reduced budget.
+        per_bin = result.cycles_per_bin()
+        budget = capacity * 0.5 * runner.TIME_BIN
+        assert np.quantile(per_bin, 0.9) < budget * 1.5
+
+    def test_predictive_beats_original_accuracy(self, small_trace_module,
+                                                calibrated):
+        capacity, reference = calibrated
+        predictive = runner.run_system(QUERY_SET, small_trace_module,
+                                       capacity * 0.5, mode="predictive")
+        original = runner.run_system(QUERY_SET, small_trace_module,
+                                     capacity * 0.5, mode="original")
+        pred_err = runner.error_by_query(predictive, reference)
+        orig_err = runner.error_by_query(original, reference)
+        assert original.dropped_packets > 0
+        assert predictive.dropped_packets < original.dropped_packets
+        assert pred_err["counter"] < orig_err["counter"]
+
+    def test_strategies_respect_min_rates(self, small_trace_module, calibrated):
+        capacity, _ = calibrated
+        for strategy in ("eq_srates", "mmfs_cpu", "mmfs_pkt"):
+            result = runner.run_system(QUERY_SET, small_trace_module,
+                                       capacity * 0.4, mode="predictive",
+                                       strategy=strategy)
+            for name in QUERY_SET:
+                rates = result.rate_series(name)
+                min_rate = make_query(name).minimum_sampling_rate
+                active = rates[rates > 0]
+                if len(active):
+                    assert active.min() >= min_rate - 1e-6
+
+    def test_reactive_mode_sheds(self, small_trace_module, calibrated):
+        capacity, _ = calibrated
+        result = runner.run_system(QUERY_SET, small_trace_module,
+                                   capacity * 0.5, mode="reactive")
+        assert result.mean_sampling_rate() < 1.0
+
+    def test_query_arrival(self, small_trace_module, calibrated):
+        capacity, _ = calibrated
+        system = MonitoringSystem([make_query("counter")], mode="predictive",
+                                  budget=CycleBudget(capacity),
+                                  **runner.FEATURE_CONFIG)
+        system.add_query(make_query("flows"), start_time=2.0)
+        result = system.run(small_trace_module)
+        flow_rates = result.rate_series("flows")
+        early_bins = [record for record in result.bins if record.start_ts < 1.9]
+        assert all("flows" not in record.rates for record in early_bins)
+        assert len(result.query_logs["flows"]) > 0
+
+
+class TestCustomSheddingIntegration:
+    def test_custom_query_polices_selfish(self, payload_trace_small):
+        queries = [make_query("counter"), make_query("flows"),
+                   SelfishP2PDetectorQuery()]
+        # Calibrate on an equivalent honest query set so the allocation grants
+        # the offender real cycles; the enforcer (not starvation) must act.
+        capacity, reference = runner.calibrate_capacity(
+            ["counter", "flows", "p2p-detector"], payload_trace_small)
+        system = MonitoringSystem(queries, mode="predictive",
+                                  strategy="mmfs_pkt",
+                                  budget=CycleBudget(capacity * 0.7),
+                                  **runner.FEATURE_CONFIG)
+        result = system.run(payload_trace_small)
+        state = system.enforcer.state("p2p-detector-selfish")
+        assert state.total_violations > 0
+        assert state.total_disables >= 1
+        # The rest of the system keeps running without uncontrolled losses.
+        assert result.drop_fraction < 0.1
+
+    def test_cooperative_custom_query_not_disabled(self, payload_trace_small):
+        queries = [make_query("counter"),
+                   P2PDetectorQuery(custom_shedding=True)]
+        capacity, _ = runner.calibrate_capacity(
+            [("p2p-detector", {"custom_shedding": True}), "counter"],
+            payload_trace_small)
+        system = MonitoringSystem(queries, mode="predictive",
+                                  strategy="mmfs_pkt",
+                                  budget=CycleBudget(capacity * 0.6),
+                                  **runner.FEATURE_CONFIG)
+        system.run(payload_trace_small)
+        assert system.enforcer.state("p2p-detector").total_disables == 0
+
+
+class TestExecutionResult:
+    def test_series_and_rates(self, small_trace_module, calibrated):
+        capacity, _ = calibrated
+        result = runner.run_system(QUERY_SET, small_trace_module,
+                                   capacity * 0.6, mode="predictive")
+        assert len(result.series("query_cycles")) == len(result.bins)
+        assert len(result.rate_series("counter")) == len(result.bins)
+        assert result.total_packets == len(small_trace_module)
