@@ -5,6 +5,7 @@ scale (shorter synthetic traces, coarser sweeps) and prints the reproduced
 rows/series so they can be compared with the paper; see EXPERIMENTS.md.
 """
 
+import os
 import sys
 from pathlib import Path
 
@@ -13,8 +14,9 @@ if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
 #: Scale factor applied to every benchmark workload (1.0 = the default
-#: laptop-sized experiment of the harness).
-BENCH_SCALE = 0.5
+#: laptop-sized experiment of the harness).  Overridable via the
+#: ``BENCH_SCALE`` environment variable so CI can run a fast smoke pass.
+BENCH_SCALE = float(os.environ.get("BENCH_SCALE", "0.5"))
 
 
 def run_once(benchmark, fn, *args, **kwargs):

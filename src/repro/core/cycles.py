@@ -92,6 +92,15 @@ class CycleMeter:
         self._rng = rng if rng is not None else np.random.default_rng(0)
         self._accumulated = 0.0
 
+    def reseed(self, seed: int) -> None:
+        """Re-seed the measurement-noise generator deterministically.
+
+        The monitoring system derives one seed per query so that executions
+        are reproducible regardless of registration order; this is the public
+        API for doing so.
+        """
+        self._rng = np.random.default_rng(seed)
+
     def charge(self, operation: str, count: float = 1.0) -> float:
         """Charge ``count`` repetitions of ``operation``; returns the cycles."""
         cycles = self.costs.cost(operation, count)

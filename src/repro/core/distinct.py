@@ -37,6 +37,17 @@ class DistinctCounter:
     def merge(self, other: "DistinctCounter") -> None:
         raise NotImplementedError
 
+    def new_estimate(self, other: "DistinctCounter") -> float:
+        """Estimated number of items of ``other`` not yet counted here.
+
+        Neither counter is modified.  Equals ``union.estimate() -
+        self.estimate()``; backends override this when they can compute it
+        without materialising the union.
+        """
+        union = self.copy()
+        union.merge(other)
+        return max(0.0, union.estimate() - self.estimate())
+
     def copy(self) -> "DistinctCounter":
         raise NotImplementedError
 
@@ -61,6 +72,11 @@ class ExactDistinctCounter(DistinctCounter):
 
     def merge(self, other: "ExactDistinctCounter") -> None:
         self._items |= other._items
+
+    def new_estimate(self, other: "ExactDistinctCounter") -> float:
+        # Exact backend: count the batch items missing from this counter
+        # directly, without copying the (much larger) interval set.
+        return float(len(other._items.difference(self._items)))
 
     def copy(self) -> "ExactDistinctCounter":
         clone = ExactDistinctCounter()

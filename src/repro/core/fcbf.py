@@ -83,8 +83,31 @@ def fcbf_select(
     if feature_names is not None and len(feature_names) != p:
         raise ValueError("feature_names length must match feature columns")
 
-    relevance = np.array([abs(linear_correlation(features[:, j], response))
-                          for j in range(p)])
+    # FCBF runs on every prediction of every query (Section 3.2.3), so the
+    # per-pair work must be minimal.  The centered columns and their sums of
+    # squares are hoisted out of the correlation loops; each individual
+    # operation keeps the exact order of :func:`linear_correlation`, so the
+    # selection is bit-identical to computing every correlation from scratch.
+    if n < 2:
+        return [0]
+    # One centered, contiguous row per feature; the axis-1 reductions below
+    # visit elements in the same order as the per-column scalar ops, so
+    # every correlation is bit-identical to linear_correlation's result.
+    columns = np.ascontiguousarray(features.T)
+    centered = columns - columns.mean(axis=1)[:, None]
+    ssq = (centered * centered).sum(axis=1)
+    yd = response - response.mean()
+    y_ssq = (yd * yd).sum()
+
+    def _correlations(vector: np.ndarray, vector_ssq: float) -> np.ndarray:
+        """|corr(vector, feature_j)| for every feature at once."""
+        with np.errstate(invalid="ignore", divide="ignore"):
+            denom = np.sqrt(ssq * vector_ssq)
+            corr = np.abs(np.clip((centered * vector).sum(axis=1) / denom,
+                                  -1.0, 1.0))
+        return np.where(denom > 0.0, corr, 0.0)
+
+    relevance = _correlations(yd, y_ssq)
 
     # Phase 1: relevance filtering.
     candidates = [j for j in range(p) if relevance[j] >= threshold]
@@ -99,13 +122,10 @@ def fcbf_select(
     while remaining:
         best = remaining.pop(0)
         selected.append(best)
-        survivors = []
-        for j in remaining:
-            cross = abs(linear_correlation(features[:, best], features[:, j]))
-            if cross >= relevance[j]:
-                continue  # redundant with an already selected predictor
-            survivors.append(j)
-        remaining = survivors
+        if not remaining:
+            break
+        cross = _correlations(centered[best], ssq[best])
+        remaining = [j for j in remaining if cross[j] < relevance[j]]
     return selected
 
 

@@ -26,7 +26,6 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from .distinct import DistinctCounter, make_counter
-from .hashing import combine_columns
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
     from ..monitor.packet import Batch
@@ -115,6 +114,10 @@ class FeatureExtractor:
         self.measurement_interval = float(measurement_interval)
         self.method = method
         self._counter_kwargs = dict(counter_kwargs or {})
+        #: Identifies the counter backend for the shared per-batch memo: all
+        #: extractors with the same backend share batch counters.
+        self._counter_signature = (method,
+                                   tuple(sorted(self._counter_kwargs.items())))
         self._interval_counters: List[DistinctCounter] = [
             self._new_counter() for _ in TRAFFIC_AGGREGATES]
         self._interval_start: Optional[float] = None
@@ -130,6 +133,21 @@ class FeatureExtractor:
 
     def _new_counter(self) -> DistinctCounter:
         return make_counter(self.method, **self._counter_kwargs)
+
+    def _batch_counter(self, batch: "Batch", columns: Tuple[str, ...]
+                       ) -> Tuple[DistinctCounter, float]:
+        """Distinct counter over one aggregate of ``batch``, shared.
+
+        Every query's extractor needs the same per-batch counter for the
+        pre-sampling extraction; it is built once, memoised on the batch and
+        only ever merged *from*, never mutated.
+        """
+        def build() -> Tuple[DistinctCounter, float]:
+            counter = self._new_counter()
+            counter.add_hashes(batch.aggregate_hashes(columns))
+            return counter, counter.estimate()
+
+        return batch.memo(("counter", self._counter_signature, columns), build)
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
@@ -176,18 +194,11 @@ class FeatureExtractor:
                 new = 0.0
                 pending.append(self._new_counter())
             else:
-                keys = combine_columns(batch.columns(columns))
-                batch_counter = self._new_counter()
-                batch_counter.add_hashes(keys)
+                batch_counter, unique = self._batch_counter(batch, columns)
                 pending.append(batch_counter)
-                unique = batch_counter.estimate()
-                before = interval_counter.estimate()
-                union = interval_counter.copy()
-                union.merge(batch_counter)
-                after = union.estimate()
-                new = max(0.0, after - before)
+                new = max(0.0, interval_counter.new_estimate(batch_counter))
                 if update_state:
-                    self._interval_counters[agg_index] = union
+                    interval_counter.merge(batch_counter)
             values[idx] = unique
             values[idx + 1] = new
             values[idx + 2] = max(0.0, n_packets - unique)
@@ -220,9 +231,7 @@ class FeatureExtractor:
                 counter.merge(pending)
         else:
             for agg_index, (_, columns) in enumerate(TRAFFIC_AGGREGATES):
-                keys = combine_columns(batch.columns(columns))
-                batch_counter = self._new_counter()
-                batch_counter.add_hashes(keys)
+                batch_counter, _ = self._batch_counter(batch, columns)
                 self._interval_counters[agg_index].merge(batch_counter)
         self._pending_batch_id = None
         self._pending_counters = None

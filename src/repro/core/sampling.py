@@ -21,7 +21,7 @@ from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
-from .hashing import H3Hash, combine_columns
+from .hashing import H3Hash
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a circular import
     from ..monitor.packet import Batch
@@ -91,8 +91,8 @@ class FlowSampler:
             return batch
         if rate <= 0.0:
             return batch.select(np.zeros(len(batch), dtype=bool))
-        keys = combine_columns(batch.columns(
-            ("src_ip", "dst_ip", "src_port", "dst_port", "proto")))
+        keys = batch.aggregate_hashes(
+            ("src_ip", "dst_ip", "src_port", "dst_port", "proto"))
         keep = self._hash.unit_interval(keys) < rate
         return batch.select(keep)
 

@@ -139,6 +139,11 @@ class LoadSheddingController:
         self.error_ewma = 0.0
         self.shedding_overhead_ewma = 0.0
         self.buffer_discovery = BufferDiscovery()
+        #: Most recent sampling rate granted to each query — an introspection
+        #: surface for operators/tests and the controller's only per-query
+        #: state; it must be dropped (``forget_query``) when a query is
+        #: removed so a later same-named query starts clean.
+        self.last_rates: Dict[str, float] = {}
 
     def configure_budget(self, per_bin_budget: float,
                          buffer_cycles: Optional[float] = None) -> None:
@@ -166,6 +171,7 @@ class LoadSheddingController:
                         corrected_prediction=corrected, overload=overload)
         if not overload or not demands:
             plan.rates = {d.name: 1.0 for d in demands}
+            self.last_rates.update(plan.rates)
             return plan
         # Cycles truly usable by queries once the shedding machinery has
         # taken its own share (Algorithm 1, line 9).
@@ -180,6 +186,7 @@ class LoadSheddingController:
         allocation = self.strategy(corrected_demands, usable)
         plan.allocation = allocation
         plan.rates = {d.name: allocation.rate(d.name) for d in demands}
+        self.last_rates.update(plan.rates)
         return plan
 
     # ------------------------------------------------------------------
@@ -211,12 +218,17 @@ class LoadSheddingController:
         self.buffer_discovery.update(used_cycles, available_cycles,
                                      buffer_occupation)
 
+    def forget_query(self, name: str) -> None:
+        """Drop all per-query state held for ``name`` (query removal)."""
+        self.last_rates.pop(name, None)
+
     def reset(self) -> None:
         initial_increment = self.buffer_discovery.initial_increment
         self.error_ewma = 0.0
         self.shedding_overhead_ewma = 0.0
         self.buffer_discovery = BufferDiscovery(
             initial_increment=initial_increment)
+        self.last_rates = {}
 
 
 def reactive_rate(previous_rate: float, consumed_cycles: float,

@@ -5,8 +5,8 @@ benchmark targets lives in ``DESIGN.md`` (Section 4); measured-versus-paper
 results are recorded in ``EXPERIMENTS.md``.
 """
 
-from . import (chapter2, chapter3, chapter4, chapter5, chapter6, reporting,
-               runner, scenarios)
+from . import (chapter2, chapter3, chapter4, chapter5, chapter6, parallel,
+               reporting, runner, scenarios)
 
 __all__ = [
     "chapter2",
@@ -14,6 +14,7 @@ __all__ = [
     "chapter4",
     "chapter5",
     "chapter6",
+    "parallel",
     "reporting",
     "runner",
     "scenarios",

@@ -23,11 +23,19 @@ class Filter:
 
     Filters compose with ``&`` (both must match), ``|`` (either matches) and
     ``~`` (negation), mirroring BPF expression composition.
+
+    ``cache_key`` is an optional string that *uniquely identifies the
+    predicate's semantics* (not just its display name).  Only filters with a
+    cache key participate in per-batch result sharing inside the monitoring
+    system; the factory functions below derive keys from their parameters,
+    while hand-written filters stay unshared unless the author opts in.
     """
 
-    def __init__(self, fn: FilterFn, name: str = "filter") -> None:
+    def __init__(self, fn: FilterFn, name: str = "filter",
+                 cache_key: Optional[str] = None) -> None:
         self._fn = fn
         self.name = name
+        self.cache_key = cache_key
 
     def __call__(self, batch: Batch) -> np.ndarray:
         mask = np.asarray(self._fn(batch), dtype=bool)
@@ -38,49 +46,73 @@ class Filter:
         return mask
 
     def apply(self, batch: Batch) -> Batch:
-        """Return the sub-batch of packets matching the filter."""
+        """Return the sub-batch of packets matching the filter.
+
+        When every packet matches, the batch itself is returned (batches are
+        immutable), so the broad filters most queries register cost no copy.
+        """
         if len(batch) == 0:
             return batch
-        return batch.select(self(batch))
+        mask = self(batch)
+        if mask.all():
+            return batch
+        return batch.select(mask)
 
     def __and__(self, other: "Filter") -> "Filter":
-        return Filter(lambda b: self(b) & other(b), f"({self.name} and {other.name})")
+        return Filter(lambda b: self(b) & other(b),
+                      f"({self.name} and {other.name})",
+                      cache_key=_combine_keys("and", self, other))
 
     def __or__(self, other: "Filter") -> "Filter":
-        return Filter(lambda b: self(b) | other(b), f"({self.name} or {other.name})")
+        return Filter(lambda b: self(b) | other(b),
+                      f"({self.name} or {other.name})",
+                      cache_key=_combine_keys("or", self, other))
 
     def __invert__(self) -> "Filter":
-        return Filter(lambda b: ~self(b), f"not {self.name}")
+        key = f"not({self.cache_key})" if self.cache_key is not None else None
+        return Filter(lambda b: ~self(b), f"not {self.name}", cache_key=key)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Filter({self.name})"
 
 
+def _combine_keys(op: str, first: Filter, second: Filter) -> Optional[str]:
+    """Cache key of a composition; None when either side is unshared."""
+    if first.cache_key is None or second.cache_key is None:
+        return None
+    return f"{op}({first.cache_key},{second.cache_key})"
+
+
 def all_packets() -> Filter:
     """Filter that matches every packet (the common default)."""
-    return Filter(lambda b: np.ones(len(b), dtype=bool), "all")
+    return Filter(lambda b: np.ones(len(b), dtype=bool), "all",
+                  cache_key="all")
 
 
 def no_packets() -> Filter:
     """Filter that matches nothing (useful in tests)."""
-    return Filter(lambda b: np.zeros(len(b), dtype=bool), "none")
+    return Filter(lambda b: np.zeros(len(b), dtype=bool), "none",
+                  cache_key="none")
 
 
 def proto(number: int) -> Filter:
     """Match packets with the given IP protocol number."""
-    return Filter(lambda b: b.proto == number, f"proto {number}")
+    return Filter(lambda b: b.proto == number, f"proto {number}",
+                  cache_key=f"proto:{int(number)}")
 
 
 def tcp() -> Filter:
     from .packet import PROTO_TCP
 
-    return Filter(lambda b: b.proto == PROTO_TCP, "tcp")
+    return Filter(lambda b: b.proto == PROTO_TCP, "tcp",
+                  cache_key=f"proto:{int(PROTO_TCP)}")
 
 
 def udp() -> Filter:
     from .packet import PROTO_UDP
 
-    return Filter(lambda b: b.proto == PROTO_UDP, "udp")
+    return Filter(lambda b: b.proto == PROTO_UDP, "udp",
+                  cache_key=f"proto:{int(PROTO_UDP)}")
 
 
 def port(number: int, direction: str = "either") -> Filter:
@@ -89,13 +121,16 @@ def port(number: int, direction: str = "either") -> Filter:
     ``direction`` is one of ``"src"``, ``"dst"`` or ``"either"``.
     """
     if direction == "src":
-        return Filter(lambda b: b.src_port == number, f"src port {number}")
+        return Filter(lambda b: b.src_port == number, f"src port {number}",
+                      cache_key=f"port:{int(number)}:src")
     if direction == "dst":
-        return Filter(lambda b: b.dst_port == number, f"dst port {number}")
+        return Filter(lambda b: b.dst_port == number, f"dst port {number}",
+                      cache_key=f"port:{int(number)}:dst")
     if direction == "either":
         return Filter(
             lambda b: (b.src_port == number) | (b.dst_port == number),
             f"port {number}",
+            cache_key=f"port:{int(number)}:either",
         )
     raise ValueError(f"unknown direction {direction!r}")
 
@@ -116,18 +151,21 @@ def subnet(network: int, prefix_len: int, direction: str = "either") -> Filter:
         return (b.dst_ip & mask) == net
 
     name = f"net {network}/{prefix_len}"
+    key = f"subnet:{int(net)}/{int(prefix_len)}"
     if direction == "src":
-        return Filter(match_src, "src " + name)
+        return Filter(match_src, "src " + name, cache_key=key + ":src")
     if direction == "dst":
-        return Filter(match_dst, "dst " + name)
+        return Filter(match_dst, "dst " + name, cache_key=key + ":dst")
     if direction == "either":
-        return Filter(lambda b: match_src(b) | match_dst(b), name)
+        return Filter(lambda b: match_src(b) | match_dst(b), name,
+                      cache_key=key + ":either")
     raise ValueError(f"unknown direction {direction!r}")
 
 
 def size_at_least(n_bytes: int) -> Filter:
     """Match packets whose wire size is at least ``n_bytes``."""
-    return Filter(lambda b: b.size >= n_bytes, f"size >= {n_bytes}")
+    return Filter(lambda b: b.size >= n_bytes, f"size >= {n_bytes}",
+                  cache_key=f"size>={int(n_bytes)}")
 
 
 def any_of(filters: Iterable[Filter], name: Optional[str] = None) -> Filter:

@@ -22,9 +22,11 @@ Column layout
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
+
+from ..core.hashing import combine_columns
 
 #: IP protocol numbers used throughout the code base.
 PROTO_TCP = 6
@@ -86,6 +88,10 @@ class Batch:
         "payloads",
         "time_bin",
         "start_ts",
+        "_agg_cache",
+        "_filter_cache",
+        "_parent",
+        "_parent_index",
     )
 
     def __init__(
@@ -120,6 +126,12 @@ class Batch:
         if start_ts is None:
             start_ts = float(self.ts[0]) if n else 0.0
         self.start_ts = float(start_ts)
+        self._agg_cache: Optional[Dict[tuple, object]] = None
+        self._filter_cache: Optional[Dict[str, "Batch"]] = None
+        # Set by ``select``: hashes of a sub-batch are the parent's hashes at
+        # the selected rows, so they can be sliced instead of recomputed.
+        self._parent: Optional["Batch"] = None
+        self._parent_index: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Basic container protocol
@@ -185,6 +197,61 @@ class Batch:
         """Return the header columns named in ``names``."""
         return [getattr(self, name) for name in names]
 
+    def memo(self, key: tuple, build):
+        """Per-batch memo for immutable derived values.
+
+        Batches are treated as immutable once constructed, so any value
+        derived purely from the packet columns (aggregate hashes, distinct
+        counters, filter results) can be computed once and shared by every
+        consumer.  ``key`` must identify the derivation unambiguously.
+        """
+        if self._agg_cache is None:
+            self._agg_cache = {}
+        value = self._agg_cache.get(key)
+        if value is None:
+            value = build()
+            self._agg_cache[key] = value
+        return value
+
+    def aggregate_hashes(self, columns: Sequence[str]) -> np.ndarray:
+        """Memoised :func:`~repro.core.hashing.combine_columns` over columns.
+
+        Every feature extractor (one per query) and the flowwise samplers
+        hash the same header aggregates of the same batch; the combined
+        64-bit keys are computed once and shared by all consumers.  For a
+        batch produced by :meth:`select`, the hashes are row-wise, so they
+        are sliced from the parent batch instead of recomputed.
+        """
+        key = ("hash", tuple(columns))
+
+        def build() -> np.ndarray:
+            if self._parent is not None:
+                return self._parent.aggregate_hashes(columns)[
+                    self._parent_index]
+            return combine_columns(self.columns(tuple(columns)))
+
+        return self.memo(key, build)
+
+    # ------------------------------------------------------------------
+    # Shared filter results
+    # ------------------------------------------------------------------
+    def cached_filter(self, cache_key: str) -> Optional["Batch"]:
+        """Look up a previously stored filter result by semantic cache key."""
+        if self._filter_cache is None:
+            return None
+        return self._filter_cache.get(cache_key)
+
+    def store_filter(self, cache_key: str, sub_batch: "Batch") -> None:
+        """Store a filter result so other queries (and modes) can reuse it.
+
+        ``cache_key`` must uniquely identify the predicate's semantics (see
+        :class:`~repro.monitor.filters.Filter`); only filters that carry a
+        key are ever shared.
+        """
+        if self._filter_cache is None:
+            self._filter_cache = {}
+        self._filter_cache[cache_key] = sub_batch
+
     # ------------------------------------------------------------------
     # Subsetting
     # ------------------------------------------------------------------
@@ -199,7 +266,7 @@ class Batch:
         payloads = None
         if self.payloads is not None:
             payloads = [self.payloads[i] for i in idx]
-        return Batch(
+        sub = Batch(
             ts=self.ts[idx],
             src_ip=self.src_ip[idx],
             dst_ip=self.dst_ip[idx],
@@ -211,6 +278,9 @@ class Batch:
             time_bin=self.time_bin,
             start_ts=self.start_ts,
         )
+        sub._parent = self
+        sub._parent_index = idx
+        return sub
 
     @classmethod
     def empty(cls, time_bin: float = 0.1, start_ts: float = 0.0,
@@ -268,6 +338,7 @@ class PacketTrace:
     def __init__(self, packets: Batch, name: str = "trace") -> None:
         self.packets = packets
         self.name = name
+        self._batch_cache: Dict[float, List[Batch]] = {}
 
     def __len__(self) -> int:
         return len(self.packets)
@@ -289,28 +360,45 @@ class PacketTrace:
         Empty bins are yielded as empty batches so that the consumer observes
         a continuous timeline, exactly as a live capture process would.
         """
+        return iter(self.batch_list(time_bin))
+
+    def batch_list(self, time_bin: float = 0.1) -> List[Batch]:
+        """The trace sliced into ``time_bin`` batches, computed once.
+
+        Slicing a multi-second trace copies every column array; executions in
+        different modes (and repeated runs over the same trace, as the
+        scenario engine performs) consume identical batches, so the slices
+        are memoised per ``time_bin``.  Traces are treated as immutable once
+        built; mutate ``self.packets`` and the cache goes stale.
+        """
+        time_bin = float(time_bin)
+        cached = self._batch_cache.get(time_bin)
+        if cached is not None:
+            return cached
+        batches: List[Batch] = []
         pkts = self.packets
-        if len(pkts) == 0:
-            return
-        ts = pkts.ts
-        start = float(ts[0])
-        end = float(ts[-1])
-        n_bins = int(np.floor((end - start) / time_bin)) + 1
-        # Bin index of every packet; searchsorted on the (sorted) timestamps
-        # gives us contiguous index ranges per bin.
-        edges = start + time_bin * np.arange(n_bins + 1)
-        bounds = np.searchsorted(ts, edges)
-        for i in range(n_bins):
-            lo, hi = int(bounds[i]), int(bounds[i + 1])
-            if hi > lo:
-                batch = pkts.select(np.arange(lo, hi))
-            else:
-                batch = Batch.empty(time_bin=time_bin,
-                                    start_ts=float(edges[i]),
-                                    with_payloads=pkts.payloads is not None)
-            batch.time_bin = time_bin
-            batch.start_ts = float(edges[i])
-            yield batch
+        if len(pkts) > 0:
+            ts = pkts.ts
+            start = float(ts[0])
+            end = float(ts[-1])
+            n_bins = int(np.floor((end - start) / time_bin)) + 1
+            # Bin index of every packet; searchsorted on the (sorted)
+            # timestamps gives us contiguous index ranges per bin.
+            edges = start + time_bin * np.arange(n_bins + 1)
+            bounds = np.searchsorted(ts, edges)
+            for i in range(n_bins):
+                lo, hi = int(bounds[i]), int(bounds[i + 1])
+                if hi > lo:
+                    batch = pkts.select(np.arange(lo, hi))
+                else:
+                    batch = Batch.empty(time_bin=time_bin,
+                                        start_ts=float(edges[i]),
+                                        with_payloads=pkts.payloads is not None)
+                batch.time_bin = time_bin
+                batch.start_ts = float(edges[i])
+                batches.append(batch)
+        self._batch_cache[time_bin] = batches
+        return batches
 
     def num_batches(self, time_bin: float = 0.1) -> int:
         """Number of batches :meth:`batches` will yield."""

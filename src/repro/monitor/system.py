@@ -245,12 +245,21 @@ class MonitoringSystem:
         else:
             sampler = PacketSampler(rng=np.random.default_rng(seed))
         query.meter.noise_std = self.measurement_noise
-        query.meter._rng = np.random.default_rng(seed + 1)
+        query.meter.reseed(seed + 1)
         self._runtimes[query.name] = _QueryRuntime(
             query, start_time, predictor, extractor, sampler, seed)
 
     def remove_query(self, name: str) -> None:
+        """Deregister a query and forget all per-query shedding state.
+
+        Dropping the enforcement and controller records matters when a
+        same-named query is later re-added mid-experiment: a fresh query must
+        not inherit the violation history (or correction factor) of the old
+        one, which would get it disabled for sins it never committed.
+        """
         self._runtimes.pop(name, None)
+        self.enforcer.reset(name)
+        self.controller.forget_query(name)
 
     @property
     def query_names(self) -> List[str]:
@@ -358,7 +367,7 @@ class MonitoringSystem:
         demands: List[QueryDemand] = []
         for runtime in active:
             name = runtime.query.name
-            filtered[name] = runtime.query.filter.apply(batch)
+            filtered[name] = self._filtered_batch(runtime.query.filter, batch)
             if self.mode == "predictive":
                 feats = runtime.extractor.extract(filtered[name],
                                                   update_state=False)
@@ -430,6 +439,28 @@ class MonitoringSystem:
             rates=dict(rates),
             query_cycles_by_query=query_cycles_by_query,
         )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _filtered_batch(packet_filter, batch: Batch) -> Batch:
+        """Apply a stateless filter with per-batch result sharing.
+
+        Queries frequently register semantically identical filters (most use
+        ``all_packets``); the result is memoised on the batch keyed by the
+        filter's ``cache_key``, so N queries behind the same predicate
+        trigger one evaluation — and because traces memoise their batch
+        slices, the reuse extends across modes run over the same trace.
+        Filters without a cache key (hand-written predicates) are never
+        shared.
+        """
+        key = packet_filter.cache_key
+        if key is None:
+            return packet_filter.apply(batch)
+        cached = batch.cached_filter(key)
+        if cached is None:
+            cached = packet_filter.apply(batch)
+            batch.store_filter(key, cached)
+        return cached
 
     # ------------------------------------------------------------------
     def _decide_rates(self, active: List[_QueryRuntime],

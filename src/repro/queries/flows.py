@@ -16,7 +16,6 @@ from typing import Dict, Set
 
 import numpy as np
 
-from ..core.hashing import combine_columns
 from ..core.sampling import scale_estimate
 from ..monitor.packet import Batch
 from ..monitor.query import SAMPLING_FLOW, Query
@@ -49,8 +48,8 @@ class FlowsQuery(Query):
         self.charge("hash_lookup", n)
         if n == 0:
             return
-        keys = combine_columns(batch.columns(
-            ("src_ip", "dst_ip", "src_port", "dst_port", "proto")))
+        keys = batch.aggregate_hashes(
+            ("src_ip", "dst_ip", "src_port", "dst_port", "proto"))
         unique_keys = np.unique(keys)
         new_keys = [int(k) for k in unique_keys if int(k) not in self._flow_table]
         # New flows pay the insertion cost, the rest only an in-place update.

@@ -24,7 +24,7 @@ from typing import Dict, Optional, Set, Tuple
 
 import numpy as np
 
-from ..core.hashing import H3Hash, combine_columns
+from ..core.hashing import H3Hash
 from ..core.sampling import scale_estimate
 from ..monitor.packet import Batch
 from ..monitor.query import SAMPLING_CUSTOM, SAMPLING_PACKET, Query
@@ -83,8 +83,8 @@ class P2PDetectorQuery(Query):
         self.charge("hash_lookup", n)
         if n == 0:
             return
-        keys = combine_columns(batch.columns(
-            ("src_ip", "dst_ip", "src_port", "dst_port", "proto")))
+        keys = batch.aggregate_hashes(
+            ("src_ip", "dst_ip", "src_port", "dst_port", "proto"))
         new_flows = set(int(k) for k in np.unique(keys)) - self._flows_seen
         self.charge("hash_insert", len(new_flows))
         self._flows_seen.update(new_flows)
@@ -137,8 +137,8 @@ class P2PDetectorQuery(Query):
             return 1.0
         if fraction <= 0.0:
             return 0.0
-        keys = combine_columns(batch.columns(
-            ("src_ip", "dst_ip", "src_port", "dst_port", "proto")))
+        keys = batch.aggregate_hashes(
+            ("src_ip", "dst_ip", "src_port", "dst_port", "proto"))
         keep = self._flow_hash.unit_interval(keys) < fraction
         self.charge("packet", len(batch))  # hashing every packet has a cost
         self._scan_batch(batch.select(keep))

@@ -1,7 +1,8 @@
 """Synthetic traffic substrate: generation, anomalies, presets and trace I/O."""
 
-from .anomalies import (AnomalyWindow, byte_burst, ddos_attack, flow_spike,
-                        inject, syn_flood, worm_outbreak)
+from .anomalies import (AnomalyWindow, byte_burst, ddos_attack, flash_crowd,
+                        flow_spike, inject, port_scan, syn_flood,
+                        worm_outbreak)
 from .generator import (ATTACK_SIGNATURE, P2P_SIGNATURES, ApplicationProfile,
                         TrafficProfile, generate_trace, merge_traces)
 from .models import TRACE_PROFILES, load_preset, trace_profile
@@ -16,12 +17,14 @@ __all__ = [
     "TrafficProfile",
     "byte_burst",
     "ddos_attack",
+    "flash_crowd",
     "flow_spike",
     "generate_trace",
     "inject",
     "load_preset",
     "load_trace",
     "merge_traces",
+    "port_scan",
     "save_trace",
     "syn_flood",
     "trace_profile",

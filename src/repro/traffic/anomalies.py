@@ -184,10 +184,87 @@ def byte_burst(
     return PacketTrace(packets, name=name)
 
 
+def flash_crowd(
+    window: AnomalyWindow,
+    packets_per_second: float = 9000.0,
+    target: Optional[int] = None,
+    target_port: int = 80,
+    n_clients: int = 1500,
+    seed: int = 6,
+    name: str = "flash-crowd",
+) -> PacketTrace:
+    """Legitimate flash crowd: many real clients hammering one server.
+
+    Unlike a spoofed DDoS, the source pool is finite (every client sends many
+    packets over a few ports) and the packets carry realistic request/response
+    sizes, so packet- and byte-driven features surge while the number of
+    distinct flows grows far less than in a SYN flood.
+    """
+    rng = np.random.default_rng(seed)
+    count = int(packets_per_second * window.duration)
+    ts = _uniform_times(window, count, rng)
+    if target is None:
+        target = ip(147, 83, 20, 20)
+    clients = rng.integers(ip(1, 0, 0, 1), ip(223, 255, 255, 254),
+                           size=n_clients, dtype=np.int64).astype(np.uint32)
+    client_ports = rng.integers(1024, 65535, size=n_clients).astype(np.uint16)
+    idx = rng.integers(0, n_clients, size=count)
+    sizes = rng.choice([60, 120, 576, 1200, 1500], size=count,
+                       p=[0.3, 0.2, 0.2, 0.15, 0.15]).astype(np.uint32)
+    packets = Batch(
+        ts=ts,
+        src_ip=clients[idx],
+        dst_ip=np.full(count, target, dtype=np.uint32),
+        src_port=client_ports[idx],
+        dst_port=np.full(count, target_port, dtype=np.uint16),
+        proto=np.full(count, PROTO_TCP, dtype=np.uint8),
+        size=sizes,
+    )
+    return PacketTrace(packets, name=name)
+
+
+def port_scan(
+    window: AnomalyWindow,
+    probes_per_second: float = 7000.0,
+    n_scanners: int = 4,
+    target_network: Optional[int] = None,
+    n_targets: int = 4096,
+    seed: int = 7,
+    name: str = "port-scan",
+) -> PacketTrace:
+    """Port-scan storm: a handful of scanners sweeping ports across a subnet.
+
+    The storm explodes destination-side aggregates (``dst_port_proto``,
+    ``dst_ip_port_proto``) while source-side aggregates stay almost flat —
+    the mirror image of a spoofed flood, which stresses the feature-selection
+    stage differently.
+    """
+    rng = np.random.default_rng(seed)
+    count = int(probes_per_second * window.duration)
+    ts = _uniform_times(window, count, rng)
+    if target_network is None:
+        target_network = ip(147, 83, 0, 0)
+    scanners = rng.integers(ip(20, 0, 0, 1), ip(220, 0, 0, 1), size=n_scanners,
+                            dtype=np.int64).astype(np.uint32)
+    targets = (np.uint32(target_network) +
+               rng.integers(0, n_targets, size=count).astype(np.uint32))
+    packets = Batch(
+        ts=ts,
+        src_ip=rng.choice(scanners, size=count),
+        dst_ip=targets,
+        src_port=rng.integers(40000, 65535, size=count).astype(np.uint16),
+        dst_port=rng.integers(1, 10000, size=count).astype(np.uint16),
+        proto=np.full(count, PROTO_TCP, dtype=np.uint8),
+        size=np.full(count, 40, dtype=np.uint32),
+    )
+    return PacketTrace(packets, name=name)
+
+
 def flow_spike(
     window: AnomalyWindow,
     flows_per_second: float = 5000.0,
     packets_per_flow: int = 2,
+    dst_port: int = 80,
     seed: int = 5,
     name: str = "flow-spike",
 ) -> PacketTrace:
@@ -210,7 +287,7 @@ def flow_spike(
         src_ip=flow_src[idx],
         dst_ip=np.full(count, ip(147, 83, 40, 40), dtype=np.uint32),
         src_port=flow_sport[idx],
-        dst_port=np.full(count, 80, dtype=np.uint16),
+        dst_port=np.full(count, dst_port, dtype=np.uint16),
         proto=np.full(count, PROTO_TCP, dtype=np.uint8),
         size=np.full(count, 60, dtype=np.uint32),
     )

@@ -151,6 +151,55 @@ class TestPredictiveExecution:
         assert len(result.query_logs["flows"]) > 0
 
 
+class TestQueryLifecycle:
+    def test_remove_query_clears_enforcement_state(self):
+        system = MonitoringSystem([make_query("counter")], mode="predictive")
+        name = "p2p-detector"
+        system.add_query(make_query(name))
+        # Simulate a history of violations for the custom query.
+        for bin_index in range(3):
+            system.enforcer.record(name, expected_cycles=100.0,
+                                   actual_cycles=1000.0, bin_index=bin_index)
+        assert system.enforcer.state(name).total_violations > 0
+        system.remove_query(name)
+        # A same-named query added later must start with a clean slate.
+        system.add_query(make_query(name))
+        state = system.enforcer.state(name)
+        assert state.total_violations == 0
+        assert state.correction == 1.0
+        assert state.disabled_until_bin == -1
+
+    def test_remove_query_clears_controller_state(self):
+        system = MonitoringSystem([make_query("counter"),
+                                   make_query("flows")], mode="predictive")
+        system.controller.last_rates.update({"counter": 0.4, "flows": 0.6})
+        system.remove_query("flows")
+        assert "flows" not in system.controller.last_rates
+        assert "counter" in system.controller.last_rates
+
+    def test_meter_reseed_is_deterministic(self):
+        from repro.core.cycles import CycleMeter
+        meter = CycleMeter(noise_std=0.2)
+        samples = []
+        for _ in range(2):
+            meter.reseed(42)
+            meter.charge("packet", 100)
+            samples.append(meter.consume())
+        assert samples[0] == samples[1]
+
+    def test_add_query_seeds_meter_via_public_api(self, small_trace_module):
+        # Two same-seeded systems with measurement noise must agree exactly,
+        # which only holds if every per-query RNG is seeded deterministically.
+        results = []
+        for _ in range(2):
+            system = MonitoringSystem([make_query("counter")],
+                                      mode="reference",
+                                      measurement_noise=0.1, seed=3)
+            result = system.run(small_trace_module)
+            results.append(result.series("query_cycles"))
+        assert np.array_equal(results[0], results[1])
+
+
 class TestCustomSheddingIntegration:
     def test_custom_query_polices_selfish(self, payload_trace_small):
         queries = [make_query("counter"), make_query("flows"),
