@@ -52,9 +52,8 @@ def _naive_serial(matrix):
                                          seed=matrix.trace_seed(cell.trace),
                                          scale=cell.scale)
         result, reference = runner.run_with_overload(
-            cell.queries, trace, cell.overload, mode=cell.mode,
-            strategy=cell.strategy, time_bin=cell.time_bin,
-            predictor=cell.predictor, seed=cell.seed)
+            cell.queries, trace, cell.overload, time_bin=cell.time_bin,
+            config=cell.to_config())
         rows.append((cell.cell_id, runner.accuracy_by_query(result, reference)))
     return rows
 

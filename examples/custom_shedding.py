@@ -8,9 +8,7 @@ sampling, once with its own flow-wise custom shedding method — and then shows
 the enforcement policy disabling a selfish variant that refuses to shed.
 """
 
-from repro.core.cycles import CycleBudget
 from repro.experiments import chapter6, runner, scenarios
-from repro.monitor.system import MonitoringSystem
 from repro.queries import SelfishP2PDetectorQuery, make_query
 
 
@@ -30,9 +28,9 @@ def main() -> None:
                                             trace)
     queries = [make_query(name) for name in well_behaved]
     queries.append(SelfishP2PDetectorQuery())
-    system = MonitoringSystem(queries, mode="predictive", strategy="mmfs_pkt",
-                              budget=CycleBudget(capacity * 0.7),
-                              **runner.FEATURE_CONFIG)
+    config = runner.system_config(strategy="mmfs_pkt",
+                                  cycles_per_second=capacity * 0.7)
+    system = config.build(queries)
     result = system.run(trace)
     state = system.enforcer.state("p2p-detector-selfish")
     print("\nSelfish p2p-detector under enforcement:")

@@ -19,8 +19,11 @@ def main() -> None:
     # Calibrate the capacity so that K = 0.5 means "demand is twice capacity".
     capacity, reference = runner.calibrate_capacity(queries, trace)
     overload = 0.5
+    # Every system knob lives in one serialisable SystemConfig;
+    # runner.system_config() is the harness default with overrides applied.
+    config = runner.system_config(mode="predictive", strategy="mmfs_pkt")
     result = runner.run_system(queries, trace, capacity * (1.0 - overload),
-                               mode="predictive", strategy="mmfs_pkt")
+                               config=config)
 
     print(f"\nOverload factor K = {overload}")
     print(f"Uncontrolled packet drops : {result.dropped_packets}")

@@ -8,14 +8,22 @@ that regenerates each table and figure of the paper's evaluation.
 
 Quick start::
 
-    from repro import MonitoringSystem, standard_queries
+    from repro import SystemConfig, standard_queries
     from repro.traffic import load_preset
 
     trace = load_preset("CESCA-I", seed=1, duration=10.0)
-    system = MonitoringSystem(standard_queries(["counter", "flows", "top-k"]),
-                              mode="predictive", strategy="mmfs_pkt")
+    config = SystemConfig(mode="predictive", strategy="mmfs_pkt")
+    system = config.build(standard_queries(["counter", "flows", "top-k"]))
     result = system.run(trace)
     print(result.drop_fraction, result.mean_sampling_rate())
+
+Streaming ingestion (live traffic, no materialised trace)::
+
+    session = system.open_session(time_bin=0.1)
+    for batch in batch_source:          # any generator of Batch objects
+        session.ingest(batch)           # full per-bin pipeline
+    session.add_query(make_query("top-k"))   # arrives at the next bin
+    result = session.close()
 
 See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
 paper-versus-measured comparison of every reproduced experiment.
@@ -24,12 +32,13 @@ paper-versus-measured comparison of every reproduced experiment.
 from .core import (EWMAPredictor, FeatureExtractor, LoadSheddingController,
                    MLRPredictor, SLRPredictor)
 from .core.cycles import CycleBudget
-from .monitor import (Batch, ExecutionResult, MonitoringSystem, PacketTrace,
-                      Query)
+from .monitor import (Batch, ExecutionResult, MonitoringSession,
+                      MonitoringSystem, PacketTrace, Query,
+                      ReproDeprecationWarning, SystemConfig)
 from .queries import make_query, standard_queries
 from .traffic import generate_trace, load_preset
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Batch",
@@ -39,10 +48,13 @@ __all__ = [
     "FeatureExtractor",
     "LoadSheddingController",
     "MLRPredictor",
+    "MonitoringSession",
     "MonitoringSystem",
     "PacketTrace",
     "Query",
+    "ReproDeprecationWarning",
     "SLRPredictor",
+    "SystemConfig",
     "__version__",
     "generate_trace",
     "load_preset",

@@ -232,6 +232,11 @@ class PredictionErrorTracker:
         return np.array(self.errors, dtype=np.float64)
 
 
+#: Valid predictor kinds accepted by :func:`make_predictor` (and validated
+#: eagerly by :class:`~repro.monitor.config.SystemConfig`).
+PREDICTOR_KINDS = ("mlr", "slr", "ewma")
+
+
 def make_predictor(kind: str, **kwargs) -> CyclePredictor:
     """Factory: ``"mlr"``, ``"slr"`` or ``"ewma"``."""
     if kind == "mlr":
@@ -240,4 +245,5 @@ def make_predictor(kind: str, **kwargs) -> CyclePredictor:
         return SLRPredictor(**kwargs)
     if kind == "ewma":
         return EWMAPredictor(**kwargs)
-    raise ValueError(f"unknown predictor kind {kind!r}")
+    raise ValueError(f"unknown predictor kind {kind!r}; "
+                     f"valid kinds: {PREDICTOR_KINDS}")

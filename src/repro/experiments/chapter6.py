@@ -13,7 +13,6 @@ import numpy as np
 
 from ..monitor.packet import PacketTrace
 from ..monitor.system import MonitoringSystem
-from ..core.cycles import CycleBudget
 from ..queries import (BuggyP2PDetectorQuery, P2PDetectorQuery,
                        SelfishP2PDetectorQuery, make_query)
 from . import runner, scenarios
@@ -55,8 +54,8 @@ def figure_6_1_custom_vs_sampling(scale: float = 1.0, overload: float = 0.5,
     for label, custom in (("packet_sampling", False), ("custom_shedding", True)):
         results[label] = runner.run_system(
             _chapter6_specs(custom), trace, capacity,
-            mode="predictive", strategy="mmfs_pkt",
-            support_custom_shedding=custom)
+            config=runner.system_config(strategy="mmfs_pkt",
+                                        support_custom_shedding=custom))
     errors = {
         label: runner.error_by_query(result, reference).get("p2p-detector", 1.0)
         for label, result in results.items()
@@ -99,10 +98,9 @@ def figure_6_3_enforcement_correction(scale: float = 1.0, overload: float = 0.5,
         queries = [make_query(name) for name in CHAPTER6_QUERIES
                    if name != "p2p-detector"]
         queries.append(p2p_query)
-        system = MonitoringSystem(
-            queries, mode="predictive", strategy="mmfs_pkt",
-            budget=CycleBudget(capacity, runner.TIME_BIN),
-            **runner.FEATURE_CONFIG)
+        system = MonitoringSystem.from_config(
+            runner.system_config(strategy="mmfs_pkt",
+                                 cycles_per_second=capacity), queries)
         system.run(trace, time_bin=runner.TIME_BIN)
         return system
 
@@ -194,12 +192,14 @@ def figure_6_6_vs_6_7(scale: float = 1.0, overload: float = 0.5,
     base_capacity, reference = runner.calibrate_capacity(
         _chapter6_specs(custom=False), trace)
     capacity = base_capacity * (1.0 - overload)
-    legacy = runner.run_system(_chapter6_specs(custom=False), trace, capacity,
-                               mode="predictive", strategy="eq_srates",
-                               support_custom_shedding=False)
-    full = runner.run_system(_chapter6_specs(custom=True), trace, capacity,
-                             mode="predictive", strategy="mmfs_pkt",
-                             support_custom_shedding=True)
+    legacy = runner.run_system(
+        _chapter6_specs(custom=False), trace, capacity,
+        config=runner.system_config(strategy="eq_srates",
+                                    support_custom_shedding=False))
+    full = runner.run_system(
+        _chapter6_specs(custom=True), trace, capacity,
+        config=runner.system_config(strategy="mmfs_pkt",
+                                    support_custom_shedding=True))
     legacy_accs = runner.accuracy_by_query(legacy, reference)
     full_accs = runner.accuracy_by_query(full, reference)
     return {
@@ -249,7 +249,14 @@ def figure_6_8_ddos(scale: float = 1.0, overload: float = 0.3,
 def figure_6_9_query_arrivals(scale: float = 1.0, overload: float = 0.4,
                               trace: Optional[PacketTrace] = None,
                               ) -> Dict[str, object]:
-    """New queries arriving while the system is already loaded."""
+    """New queries arriving while the system is already loaded.
+
+    The dynamic scenario is driven through the streaming session API: the
+    arriving queries are *not* known to the system up front — each one is
+    registered live with :meth:`MonitoringSession.add_query` when the stream
+    reaches its arrival time, exactly as an operator would submit a query to
+    a running monitor.
+    """
     if trace is None:
         trace = scenarios.payload_trace(scale=scale)
     duration = trace.duration
@@ -259,14 +266,19 @@ def figure_6_9_query_arrivals(scale: float = 1.0, overload: float = 0.4,
         base_specs + [spec for spec, _ in arriving], trace)
     capacity = base_capacity * (1.0 - overload)
 
-    queries = runner.build_queries(base_specs)
-    system = MonitoringSystem(queries, mode="predictive", strategy="mmfs_pkt",
-                              budget=CycleBudget(capacity, runner.TIME_BIN),
-                              **runner.FEATURE_CONFIG)
-    for spec, start in arriving:
-        query = runner.build_queries([spec])[0]
-        system.add_query(query, start_time=start)
-    result = system.run(trace, time_bin=runner.TIME_BIN)
+    system = MonitoringSystem.from_config(
+        runner.system_config(strategy="mmfs_pkt",
+                             cycles_per_second=capacity),
+        runner.build_queries(base_specs))
+    pending = list(arriving)
+    session = system.open_session(time_bin=runner.TIME_BIN, name=trace.name)
+    for batch in trace.batches(runner.TIME_BIN):
+        while pending and batch.start_ts + 1e-9 >= pending[0][1]:
+            spec, start = pending.pop(0)
+            session.add_query(runner.build_queries([spec])[0],
+                              start_time=start)
+        session.ingest(batch)
+    result = session.close()
     return {
         "dropped_packets": result.dropped_packets,
         "rates_over_time": {name: result.rate_series(name)
@@ -294,9 +306,9 @@ def _misbehaving_run(query_cls, scale: float, overload: float,
     queries = runner.build_queries(well_behaved)
     offender = query_cls()
     queries.append(offender)
-    system = MonitoringSystem(queries, mode="predictive", strategy="mmfs_pkt",
-                              budget=CycleBudget(capacity, runner.TIME_BIN),
-                              **runner.FEATURE_CONFIG)
+    system = MonitoringSystem.from_config(
+        runner.system_config(strategy="mmfs_pkt",
+                             cycles_per_second=capacity), queries)
     result = system.run(trace, time_bin=runner.TIME_BIN)
     state = system.enforcer.state(offender.name)
     accs = runner.accuracy_by_query(result, reference)

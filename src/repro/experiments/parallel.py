@@ -79,6 +79,12 @@ class ScenarioCell:
         """Cells with equal group keys share a trace and a calibration."""
         return (self.trace, self.queries, self.scale, self.time_bin)
 
+    def to_config(self, cycles_per_second: Optional[float] = None):
+        """The :class:`repro.SystemConfig` this cell's system is built from."""
+        return runner.system_config(
+            mode=self.mode, strategy=self.strategy, predictor=self.predictor,
+            seed=self.seed, cycles_per_second=cycles_per_second)
+
 
 @dataclass
 class ScenarioMatrix:
@@ -199,8 +205,7 @@ def _execute_cell(job: Tuple[ScenarioCell, int, float]) -> ExecutionResult:
     trace = _memoised_trace(cell.trace, trace_seed, cell.scale)
     return runner.run_system(
         cell.queries, trace, capacity * (1.0 - cell.overload),
-        mode=cell.mode, strategy=cell.strategy, predictor=cell.predictor,
-        time_bin=cell.time_bin, seed=cell.seed)
+        time_bin=cell.time_bin, config=cell.to_config())
 
 
 # ----------------------------------------------------------------------

@@ -16,6 +16,7 @@ Most evaluation figures need one of three building blocks:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -26,6 +27,7 @@ from ..core.features import FeatureExtractor, FeatureVector
 from ..core.prediction import CyclePredictor, PredictionErrorTracker
 from ..core.sampling import FlowSampler, PacketSampler
 from ..monitor import metrics
+from ..monitor.config import ReproDeprecationWarning, SystemConfig
 from ..monitor.packet import PacketTrace
 from ..monitor.query import SAMPLING_FLOW, Query
 from ..monitor.system import ExecutionResult, MonitoringSystem
@@ -44,6 +46,48 @@ FEATURE_CONFIG = {"feature_method": "exact", "feature_kwargs": {}}
 
 #: Backwards-compatible alias for callers that only tweak the bitmap size.
 FAST_FEATURES: dict = {}
+
+
+def system_config(**overrides) -> SystemConfig:
+    """The harness's default :class:`SystemConfig`, with overrides applied.
+
+    Starts from :data:`FEATURE_CONFIG` (exact feature counting) and the
+    library defaults for everything else; any field of ``SystemConfig`` can
+    be overridden — overrides always win over the harness defaults.  This is
+    the canonical way for experiments to build the config they hand to
+    :func:`run_system` / :meth:`MonitoringSystem.from_config`.
+    """
+    return SystemConfig(**{**FEATURE_CONFIG, **overrides})
+
+
+def _resolve_config(config: Optional[SystemConfig],
+                    mode: Optional[str] = None,
+                    strategy=None,
+                    predictor: Optional[str] = None,
+                    system_kwargs: Optional[dict] = None) -> SystemConfig:
+    """Merge the legacy keyword surface into one :class:`SystemConfig`.
+
+    Explicitly named arguments (``mode``/``strategy``/``predictor``) override
+    the config; loose ``**system_kwargs`` are a deprecated shim and override
+    everything (so e.g. a user-supplied ``feature_method`` beats the
+    harness's :data:`FEATURE_CONFIG` default instead of colliding with it).
+    """
+    if config is None:
+        config = system_config()
+    overrides = {key: value for key, value in
+                 (("mode", mode), ("strategy", strategy),
+                  ("predictor", predictor)) if value is not None}
+    if overrides:
+        config = config.replace(**overrides)
+    if system_kwargs:
+        warnings.warn(
+            "passing MonitoringSystem keyword arguments "
+            f"({sorted(system_kwargs)}) through the experiment helpers is "
+            "deprecated; pass config=runner.system_config(...) (a "
+            "repro.SystemConfig) instead",
+            ReproDeprecationWarning, stacklevel=3)
+        config = config.replace(**system_kwargs)
+    return config
 
 
 # ----------------------------------------------------------------------
@@ -131,10 +175,13 @@ def build_queries(names: Sequence[str],
 
 
 def reference_system(queries: Iterable[Query], budget: Optional[CycleBudget] = None,
+                     config: Optional[SystemConfig] = None,
                      **kwargs) -> MonitoringSystem:
     """A system configured for a reference (ground truth) execution."""
-    return MonitoringSystem(queries, mode="reference", budget=budget,
-                            **FEATURE_CONFIG, **kwargs)
+    config = _resolve_config(config, mode="reference", system_kwargs=kwargs)
+    if budget is not None:
+        config = config.replace(cycles_per_second=budget.cycles_per_second)
+    return MonitoringSystem.from_config(config, queries)
 
 
 def calibrate_capacity(query_names: Sequence[str], trace: PacketTrace,
@@ -180,28 +227,35 @@ def _make_queries(query_names: Sequence,
 
 def run_system(query_names: Sequence[str], trace: PacketTrace,
                cycles_per_second: float,
-               mode: str = "predictive", strategy: str = "eq_srates",
-               predictor: str = "mlr", time_bin: float = TIME_BIN,
+               mode: Optional[str] = None, strategy=None,
+               predictor: Optional[str] = None, time_bin: float = TIME_BIN,
                query_kwargs: Optional[Dict[str, dict]] = None,
+               config: Optional[SystemConfig] = None,
                **system_kwargs) -> ExecutionResult:
-    """Run a freshly-built system over a trace with an explicit capacity."""
+    """Run a freshly-built system over a trace with an explicit capacity.
+
+    The system is described by ``config`` (a :class:`repro.SystemConfig`;
+    defaults to :func:`system_config`, i.e. a predictive system with the
+    harness's exact feature counting).  ``mode``/``strategy``/``predictor``
+    remain as named conveniences and override the config; passing other
+    ``MonitoringSystem`` knobs as loose keyword arguments is deprecated —
+    put them in the config instead.
+    """
     queries = _make_queries(query_names, query_kwargs)
-    system = MonitoringSystem(
-        queries, mode=mode, strategy=strategy, predictor=predictor,
-        budget=CycleBudget(cycles_per_second=cycles_per_second,
-                           time_bin=time_bin),
-        **FEATURE_CONFIG,
-        **system_kwargs,
-    )
+    config = _resolve_config(config, mode=mode, strategy=strategy,
+                             predictor=predictor, system_kwargs=system_kwargs)
+    config = config.replace(cycles_per_second=float(cycles_per_second))
+    system = MonitoringSystem.from_config(config, queries)
     return system.run(trace, time_bin=time_bin)
 
 
 def run_with_overload(query_names: Sequence[str], trace: PacketTrace,
-                      overload: float, mode: str = "predictive",
-                      strategy: str = "eq_srates",
+                      overload: float, mode: Optional[str] = None,
+                      strategy=None, predictor: Optional[str] = None,
                       reference: Optional[ExecutionResult] = None,
                       base_capacity: Optional[float] = None,
                       time_bin: float = TIME_BIN,
+                      config: Optional[SystemConfig] = None,
                       **system_kwargs
                       ) -> Tuple[ExecutionResult, ExecutionResult]:
     """Run a system at overload factor ``K`` and return (result, reference).
@@ -212,12 +266,14 @@ def run_with_overload(query_names: Sequence[str], trace: PacketTrace,
     """
     if not 0.0 <= overload < 1.0:
         raise ValueError("overload K must be in [0, 1)")
+    config = _resolve_config(config, mode=mode, strategy=strategy,
+                             predictor=predictor, system_kwargs=system_kwargs)
     if reference is None or base_capacity is None:
         base_capacity, reference = calibrate_capacity(query_names, trace,
                                                       time_bin=time_bin)
     capacity = base_capacity * (1.0 - overload)
-    result = run_system(query_names, trace, capacity, mode=mode,
-                        strategy=strategy, time_bin=time_bin, **system_kwargs)
+    result = run_system(query_names, trace, capacity, time_bin=time_bin,
+                        config=config)
     return result, reference
 
 

@@ -2,10 +2,13 @@
 
 from . import filters, metrics
 from .capture import BufferStatus, CaptureBuffer
+from .config import (MODES, MODE_ALIASES, ReproDeprecationWarning,
+                     SystemConfig)
 from .packet import (PROTO_ICMP, PROTO_TCP, PROTO_UDP, Batch, Packet,
                      PacketTrace, format_ip, ip)
 from .query import (SAMPLING_CUSTOM, SAMPLING_FLOW, SAMPLING_PACKET, Query,
                     QueryResultLog)
+from .session import MonitoringSession
 from .system import (BinRecord, ExecutionResult, MonitoringSystem)
 
 __all__ = [
@@ -14,7 +17,12 @@ __all__ = [
     "BufferStatus",
     "CaptureBuffer",
     "ExecutionResult",
+    "MODES",
+    "MODE_ALIASES",
+    "MonitoringSession",
     "MonitoringSystem",
+    "ReproDeprecationWarning",
+    "SystemConfig",
     "PROTO_ICMP",
     "PROTO_TCP",
     "PROTO_UDP",

@@ -1,0 +1,180 @@
+"""Typed, serialisable configuration for the monitoring system.
+
+Every knob of :class:`~repro.monitor.system.MonitoringSystem` is captured by
+:class:`SystemConfig`, a frozen dataclass that validates its fields eagerly —
+a typo'd strategy or predictor name fails at construction with a message
+listing the valid options, not minutes later inside the controller.  Because
+the config is a plain value object it can be copied (:meth:`replace`),
+serialised (:meth:`to_dict` / :meth:`from_dict`) and shipped across process
+boundaries, which is what lets experiment grids, :class:`ParallelRunner`
+cells and checkpoints all speak one type instead of threading ``**kwargs``
+through four layers.
+
+The canonical operating-mode registry also lives here (the system module
+re-exports it), so that config validation does not need to import the system
+and create a cycle.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Union
+
+from ..core.cycles import CycleBudget
+from ..core.fairness import STRATEGIES
+from ..core.prediction import PREDICTOR_KINDS
+
+#: Valid operating modes.
+MODES = ("predictive", "reactive", "original", "reference")
+#: Aliases accepted for convenience (Chapter 5 names).
+MODE_ALIASES = {"no_lshed": "original"}
+
+#: Valid distinct-counting backends for feature extraction.
+FEATURE_METHODS = ("bitmap", "exact")
+
+
+class ReproDeprecationWarning(DeprecationWarning):
+    """Deprecation warnings raised by the ``repro`` package.
+
+    A dedicated subclass lets the test suite turn *our* deprecations into
+    errors (so internal code cannot quietly keep using shimmed paths) without
+    also erroring on unrelated ``DeprecationWarning`` noise from third-party
+    libraries.
+    """
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Frozen, validated value object holding every system knob.
+
+    Parameters mirror :class:`~repro.monitor.system.MonitoringSystem`; the
+    one representational difference is the cycle budget: a config stores the
+    scalar ``cycles_per_second`` (``None`` = the default host capacity)
+    rather than a :class:`~repro.core.cycles.CycleBudget` object, because the
+    per-bin budget is always rebuilt from the execution's ``time_bin`` anyway
+    and a scalar keeps the config JSON-serialisable.
+
+    Examples
+    --------
+    >>> config = SystemConfig(mode="predictive", strategy="mmfs_pkt")
+    >>> config = config.replace(cycles_per_second=2e8, seed=7)
+    >>> SystemConfig.from_dict(config.to_dict()) == config
+    True
+    >>> system = config.build(queries)          # doctest: +SKIP
+    """
+
+    mode: str = "predictive"
+    strategy: Union[str, Callable] = "eq_srates"
+    predictor: str = "mlr"
+    predictor_kwargs: Dict[str, Any] = field(default_factory=dict)
+    cycles_per_second: Optional[float] = None
+    buffer_seconds: Optional[float] = 0.2
+    support_custom_shedding: bool = True
+    feature_method: str = "bitmap"
+    feature_kwargs: Dict[str, Any] = field(default_factory=dict)
+    measurement_noise: float = 0.0
+    system_overhead_fixed: float = 2e4
+    system_overhead_per_packet: float = 20.0
+    reactive_min_rate: float = 0.0
+    seed: int = 0
+
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        set_ = object.__setattr__  # the dataclass is frozen
+        set_(self, "mode", MODE_ALIASES.get(self.mode, self.mode))
+        if self.mode not in MODES:
+            raise ValueError(f"unknown mode {self.mode!r}; valid modes: "
+                             f"{MODES} (aliases: {sorted(MODE_ALIASES)})")
+        if not callable(self.strategy) and self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {self.strategy!r}; valid strategies: "
+                f"{tuple(sorted(STRATEGIES))} (or any callable)")
+        if self.predictor not in PREDICTOR_KINDS:
+            raise ValueError(f"unknown predictor {self.predictor!r}; "
+                             f"valid predictors: {PREDICTOR_KINDS}")
+        if self.feature_method not in FEATURE_METHODS:
+            raise ValueError(
+                f"unknown feature_method {self.feature_method!r}; "
+                f"valid methods: {FEATURE_METHODS}")
+        # Defensive copies: a config must never alias caller-owned dicts.
+        set_(self, "predictor_kwargs", dict(self.predictor_kwargs or {}))
+        set_(self, "feature_kwargs", dict(self.feature_kwargs or {}))
+        if self.cycles_per_second is not None:
+            set_(self, "cycles_per_second", float(self.cycles_per_second))
+            if self.cycles_per_second <= 0:
+                raise ValueError("cycles_per_second must be positive or None")
+        if self.buffer_seconds is not None:
+            set_(self, "buffer_seconds", float(self.buffer_seconds))
+            if self.buffer_seconds < 0:
+                raise ValueError("buffer_seconds must be >= 0 or None")
+        set_(self, "support_custom_shedding", bool(self.support_custom_shedding))
+        set_(self, "measurement_noise", float(self.measurement_noise))
+        if self.measurement_noise < 0:
+            raise ValueError("measurement_noise must be >= 0")
+        set_(self, "system_overhead_fixed", float(self.system_overhead_fixed))
+        set_(self, "system_overhead_per_packet",
+             float(self.system_overhead_per_packet))
+        set_(self, "reactive_min_rate", float(self.reactive_min_rate))
+        if not 0.0 <= self.reactive_min_rate <= 1.0:
+            raise ValueError("reactive_min_rate must be in [0, 1]")
+        set_(self, "seed", int(self.seed))
+
+    # ------------------------------------------------------------------
+    def replace(self, **changes: Any) -> "SystemConfig":
+        """A copy with the given fields changed (and re-validated)."""
+        valid = {f.name for f in dataclasses.fields(self)}
+        unknown = sorted(set(changes) - valid)
+        if unknown:
+            raise ValueError(f"unknown SystemConfig fields {unknown}; "
+                             f"valid fields: {sorted(valid)}")
+        return dataclasses.replace(self, **changes)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain, JSON-serialisable dict representation.
+
+        Raises ``TypeError`` when the strategy is a callable — function
+        objects cannot round-trip through serialisation; register the
+        strategy under a name instead.
+        """
+        if callable(self.strategy):
+            raise TypeError(
+                "a SystemConfig with a callable strategy is not serialisable;"
+                " register it in repro.core.fairness.STRATEGIES and refer to"
+                " it by name")
+        data = {f.name: getattr(self, f.name)
+                for f in dataclasses.fields(self)}
+        data["predictor_kwargs"] = dict(self.predictor_kwargs)
+        data["feature_kwargs"] = dict(self.feature_kwargs)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SystemConfig":
+        """Rebuild a config from :meth:`to_dict` output (strict keys)."""
+        valid = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - valid)
+        if unknown:
+            raise ValueError(f"unknown SystemConfig fields {unknown}; "
+                             f"valid fields: {sorted(valid)}")
+        return cls(**data)
+
+    # ------------------------------------------------------------------
+    def make_budget(self, time_bin: float = 0.1) -> CycleBudget:
+        """The :class:`CycleBudget` this config implies for a ``time_bin``."""
+        if self.cycles_per_second is None:
+            return CycleBudget(time_bin=time_bin)
+        return CycleBudget(self.cycles_per_second, time_bin)
+
+    def build(self, queries=None) -> "MonitoringSystem":  # noqa: F821
+        """Construct a :class:`MonitoringSystem` from this config."""
+        from .system import MonitoringSystem
+        return MonitoringSystem.from_config(self, queries)
+
+
+__all__ = [
+    "FEATURE_METHODS",
+    "MODES",
+    "MODE_ALIASES",
+    "ReproDeprecationWarning",
+    "SystemConfig",
+]

@@ -1,0 +1,298 @@
+"""Streaming execution sessions: push-based ingestion with live control.
+
+The paper's load-shedding scheme is an *online* system — it sheds load on
+live traffic with no a-priori knowledge of the workload — and
+:class:`MonitoringSession` is the execution handle that matches that shape.
+Instead of handing :meth:`MonitoringSystem.run` a fully materialised trace,
+a caller opens a session and pushes batches as they arrive::
+
+    session = system.open_session(time_bin=0.1)
+    for batch in capture_process:        # any iterable / generator of batches
+        record = session.ingest(batch)   # full per-bin pipeline, one bin
+    result = session.close()             # final measurement-interval flush
+
+Each :meth:`ingest` call drives the complete per-bin pipeline of Figure 3.2
+(prediction -> allocation -> shedding -> queries) and returns the bin's
+:class:`~repro.monitor.system.BinRecord`.  Between bins the session can be
+reconfigured live — the Chapter 6 dynamic scenario:
+
+* :meth:`add_query` / :meth:`remove_query` model query arrivals and
+  departures (Figure 6.9); a departing query's last partial measurement
+  interval is flushed into its log, and its enforcement/controller state is
+  dropped so a later same-named query starts clean.
+* :meth:`set_capacity` models the host capacity changing under the system
+  (CPU frequency scaling, co-located jobs).
+
+All three take effect at the next bin boundary — i.e. they are queued and
+applied at the start of the next :meth:`ingest` (or at :meth:`close`), never
+in the middle of a bin — so a bin is always processed under one consistent
+configuration.
+
+:meth:`MonitoringSystem.run` is a thin wrapper over this class (open, ingest
+every batch, close) and is bit-identical to driving the session by hand; the
+golden regression tests pin that equivalence down.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.cycles import CycleBudget, CycleClock
+from .capture import CaptureBuffer
+from .packet import Batch
+from .query import Query, QueryResultLog
+from .system import BinRecord, ExecutionResult, MonitoringSystem
+
+
+def _snapshot_log(log: QueryResultLog) -> QueryResultLog:
+    """Shallow copy of a result log (for mid-stream snapshots)."""
+    copy = QueryResultLog(log.name)
+    copy.intervals = list(log.intervals)
+    copy.results = list(log.results)
+    return copy
+
+
+def _concat_logs(first: QueryResultLog, second: QueryResultLog
+                 ) -> QueryResultLog:
+    """One chronological log out of two lifetimes of a same-named query."""
+    merged = QueryResultLog(first.name)
+    merged.intervals = list(first.intervals) + list(second.intervals)
+    merged.results = list(first.results) + list(second.results)
+    return merged
+
+
+class MonitoringSession:
+    """Push-based execution handle over a :class:`MonitoringSystem`.
+
+    Opening a session resets the system's per-execution state (exactly as
+    :meth:`MonitoringSystem.run` used to) and takes ownership of the per-bin
+    machinery: the cycle clock, the capture buffer and the bin index.  One
+    system can therefore only be driven by one session at a time; open a new
+    session to start a fresh execution.
+
+    Parameters
+    ----------
+    system:
+        The system to execute.
+    time_bin:
+        Bin length in seconds (the paper uses 100 ms).  Every ingested batch
+        is treated as one bin of this length.
+    name:
+        Label stored as the execution's ``trace_name`` (``run()`` passes the
+        trace's name).
+    """
+
+    def __init__(self, system: MonitoringSystem, time_bin: float = 0.1,
+                 name: str = "live") -> None:
+        system._reset()
+        self.system = system
+        self.time_bin = float(time_bin)
+        self.name = name
+        self.budget = CycleBudget(system.budget.cycles_per_second,
+                                  self.time_bin)
+        self.clock = CycleClock(self.budget)
+        self.buffer = CaptureBuffer(system.buffer_seconds,
+                                    cycles_per_second=self.budget.cycles_per_second)
+        system.controller.configure_budget(self.budget.per_bin,
+                                           self.buffer.capacity_cycles)
+        self._bins: List[BinRecord] = []
+        #: Queued reconfigurations, applied in call order at the next bin
+        #: boundary: ("add", query, start_time) | ("remove", name) |
+        #: ("capacity", cycles_per_second).
+        self._pending: List[Tuple] = []
+        #: Final logs of queries that departed mid-session.
+        self._departed_logs: Dict[str, QueryResultLog] = {}
+        self._next_index = 0
+        self._last_start_ts: Optional[float] = None
+        self._result: Optional[ExecutionResult] = None
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._result is not None
+
+    @property
+    def bins_ingested(self) -> int:
+        return len(self._bins)
+
+    @property
+    def query_names(self) -> List[str]:
+        """Queries currently registered (pending changes not yet applied)."""
+        return self.system.query_names
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def ingest(self, batch: Batch) -> BinRecord:
+        """Process one time bin's worth of packets and record the outcome.
+
+        Pending reconfigurations are applied first (this call *is* the bin
+        boundary they were waiting for), then the batch flows through the
+        full pipeline: capture-buffer admission, prediction, allocation,
+        shedding and query execution.
+        """
+        if self.closed:
+            raise RuntimeError("cannot ingest into a closed session")
+        self._apply_pending(batch.start_ts)
+        record = self.system._process_bin(self._next_index, batch, self.clock,
+                                          self.buffer)
+        self._next_index += 1
+        self._last_start_ts = float(batch.start_ts)
+        self._bins.append(record)
+        return record
+
+    def close(self) -> ExecutionResult:
+        """Flush the last (possibly partial) measurement intervals and
+        return the final :class:`ExecutionResult`.  Idempotent."""
+        if self._result is not None:
+            return self._result
+        self._apply_pending(None)
+        self.system._final_flush()
+        result = self._make_result()
+        result.bins = self._bins
+        result.query_logs = self._collect_logs(snapshot=False)
+        self._result = result
+        return result
+
+    def partial_result(self) -> ExecutionResult:
+        """Snapshot of the execution so far (accuracy-so-far queries).
+
+        The snapshot holds copies of the bins and result logs accumulated up
+        to the last ingested bin; open measurement intervals are *not*
+        flushed (the session keeps running), so the logs contain completed
+        intervals only.  Feed it to the usual accuracy helpers, e.g.
+        ``runner.accuracy_by_query(session.partial_result(), reference)``.
+        """
+        result = self._make_result()
+        result.bins = list(self._bins)
+        result.query_logs = self._collect_logs(snapshot=True)
+        return result
+
+    def _collect_logs(self, snapshot: bool) -> Dict[str, QueryResultLog]:
+        """Departed logs plus live logs; same-named lifetimes concatenated.
+
+        A query that departed and was later replaced by a same-named arrival
+        must not lose its flushed intervals: the result log for that name is
+        the chronological concatenation of every lifetime.
+        """
+        logs: Dict[str, QueryResultLog] = {}
+        for name, log in self._departed_logs.items():
+            logs[name] = _snapshot_log(log) if snapshot else log
+        for name, runtime in self.system._runtimes.items():
+            live = _snapshot_log(runtime.log) if snapshot else runtime.log
+            prior = logs.get(name)
+            logs[name] = live if prior is None else _concat_logs(prior, live)
+        return logs
+
+    # ------------------------------------------------------------------
+    # Live reconfiguration (applied at the next bin boundary)
+    # ------------------------------------------------------------------
+    def add_query(self, query: Query, start_time: Optional[float] = None
+                  ) -> None:
+        """Register ``query`` at the next bin boundary (a query arrival).
+
+        ``start_time`` defaults to the next bin's start timestamp, i.e. the
+        query becomes active immediately at the next ingested bin; pass an
+        explicit timestamp to model an arrival scheduled further ahead.
+        """
+        if self.closed:
+            raise RuntimeError("cannot reconfigure a closed session")
+        name = query.name
+        pending_add = any(op[0] == "add" and op[1].name == name
+                          for op in self._pending)
+        pending_remove = any(op[0] == "remove" and op[1] == name
+                             for op in self._pending)
+        if pending_add or (name in self.system._runtimes and
+                           not pending_remove):
+            raise ValueError(f"a query named {name!r} is already registered")
+        self._pending.append(("add", query, start_time))
+
+    def remove_query(self, name: str) -> None:
+        """Deregister a query at the next bin boundary (a query departure).
+
+        The query's final partial measurement interval is flushed into its
+        log (kept in the session's result; if a same-named query arrives and
+        departs again later, the logs are concatenated chronologically), and
+        all per-query enforcement and controller state is dropped, so a
+        same-named query added later starts with a clean slate.
+        """
+        if self.closed:
+            raise RuntimeError("cannot reconfigure a closed session")
+        for index, op in enumerate(self._pending):
+            if op[0] == "add" and op[1].name == name:
+                del self._pending[index]
+                return
+        already_departing = any(op[0] == "remove" and op[1] == name
+                                for op in self._pending)
+        if already_departing or name not in self.system._runtimes:
+            raise KeyError(f"no query named {name!r} is registered")
+        self._pending.append(("remove", name))
+
+    def set_capacity(self, cycles_per_second: float) -> None:
+        """Change the host's cycle capacity at the next bin boundary.
+
+        The per-bin budget, the capture buffer's backlog capacity and the
+        controller's probe step sizes are all rebuilt from the new capacity;
+        accumulated processing delay (backlog) carries over, exactly as it
+        would on a real host whose clock changed under a loaded monitor.
+        """
+        if self.closed:
+            raise RuntimeError("cannot reconfigure a closed session")
+        cycles_per_second = float(cycles_per_second)
+        if cycles_per_second <= 0:
+            raise ValueError("cycles_per_second must be positive")
+        self._pending.append(("capacity", cycles_per_second))
+
+    # ------------------------------------------------------------------
+    def _apply_pending(self, boundary_ts: Optional[float]) -> None:
+        """Apply queued reconfigurations in call order at a bin boundary."""
+        pending, self._pending = self._pending, []
+        for op in pending:
+            kind = op[0]
+            if kind == "add":
+                _, query, start_time = op
+                if start_time is None:
+                    start_time = (boundary_ts if boundary_ts is not None
+                                  else self._next_boundary_ts())
+                self.system.add_query(query, start_time=start_time)
+            elif kind == "remove":
+                name = op[1]
+                runtime = self.system._runtimes[name]
+                self.system._flush_runtime_final(runtime)
+                prior = self._departed_logs.get(name)
+                self._departed_logs[name] = runtime.log if prior is None \
+                    else _concat_logs(prior, runtime.log)
+                self.system.remove_query(name)
+            else:  # capacity
+                self.budget = CycleBudget(op[1], self.time_bin)
+                self.clock.budget = self.budget
+                self.buffer.cycles_per_second = float(op[1])
+                self.system.controller.configure_budget(
+                    self.budget.per_bin, self.buffer.capacity_cycles)
+
+    def _next_boundary_ts(self) -> float:
+        if self._last_start_ts is None:
+            return 0.0
+        return self._last_start_ts + self.time_bin
+
+    def _make_result(self) -> ExecutionResult:
+        return ExecutionResult(self.system.mode, self.system.strategy_name,
+                               self.name, self.budget)
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "MonitoringSession":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        if exc_type is None:
+            self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self.closed else "open"
+        return (f"MonitoringSession(mode={self.system.mode!r}, "
+                f"bins={len(self._bins)}, {state})")
+
+
+__all__ = ["MonitoringSession"]

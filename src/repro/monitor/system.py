@@ -38,13 +38,9 @@ from ..core.prediction import CyclePredictor, make_predictor
 from ..core.sampling import FlowSampler, PacketSampler
 from ..core.shedding import LoadSheddingController, reactive_rate
 from .capture import CaptureBuffer
+from .config import MODES, MODE_ALIASES, SystemConfig
 from .packet import Batch, PacketTrace
 from .query import (SAMPLING_CUSTOM, SAMPLING_FLOW, Query, QueryResultLog)
-
-#: Valid operating modes.
-MODES = ("predictive", "reactive", "original", "reference")
-#: Aliases accepted for convenience (Chapter 5 names).
-MODE_ALIASES = {"no_lshed": "original"}
 
 
 @dataclass
@@ -196,27 +192,56 @@ class MonitoringSystem:
         reactive_min_rate: float = 0.0,
         seed: int = 0,
     ) -> None:
-        mode = MODE_ALIASES.get(mode, mode)
-        if mode not in MODES:
-            raise ValueError(f"unknown mode {mode!r}; valid modes: {MODES}")
-        self.mode = mode
-        self.strategy_name = strategy if isinstance(strategy, str) else \
-            getattr(strategy, "__name__", "custom")
-        self.predictor_kind = predictor
-        self.predictor_kwargs = dict(predictor_kwargs or {})
-        self.budget = budget if budget is not None else CycleBudget()
-        self.buffer_seconds = None if mode == "reference" else buffer_seconds
-        self.support_custom_shedding = bool(support_custom_shedding)
-        self.feature_method = feature_method
-        self.feature_kwargs = dict(feature_kwargs or {})
-        self.measurement_noise = float(measurement_noise)
-        self.system_overhead_fixed = float(system_overhead_fixed)
-        self.system_overhead_per_packet = float(system_overhead_per_packet)
-        self.reactive_min_rate = float(reactive_min_rate)
-        self.seed = int(seed)
-        self._rng = np.random.default_rng(seed)
+        # All validation lives in SystemConfig: typo'd modes, strategies and
+        # predictors fail here, eagerly, with the valid options listed.
+        config = SystemConfig(
+            mode=mode, strategy=strategy, predictor=predictor,
+            predictor_kwargs=predictor_kwargs or {},
+            cycles_per_second=(None if budget is None
+                               else budget.cycles_per_second),
+            buffer_seconds=buffer_seconds,
+            support_custom_shedding=support_custom_shedding,
+            feature_method=feature_method,
+            feature_kwargs=feature_kwargs or {},
+            measurement_noise=measurement_noise,
+            system_overhead_fixed=system_overhead_fixed,
+            system_overhead_per_packet=system_overhead_per_packet,
+            reactive_min_rate=reactive_min_rate, seed=seed)
+        self._init_from_config(config, budget=budget, queries=queries)
 
-        self.controller = LoadSheddingController(strategy=strategy)
+    @classmethod
+    def from_config(cls, config: SystemConfig,
+                    queries: Optional[Iterable[Query]] = None
+                    ) -> "MonitoringSystem":
+        """Construct a system from a :class:`SystemConfig` value object."""
+        system = cls.__new__(cls)
+        system._init_from_config(config, queries=queries)
+        return system
+
+    def _init_from_config(self, config: SystemConfig,
+                          budget: Optional[CycleBudget] = None,
+                          queries: Optional[Iterable[Query]] = None) -> None:
+        self.config = config
+        self.mode = config.mode
+        self.strategy_name = config.strategy \
+            if isinstance(config.strategy, str) \
+            else getattr(config.strategy, "__name__", "custom")
+        self.predictor_kind = config.predictor
+        self.predictor_kwargs = dict(config.predictor_kwargs)
+        self.budget = budget if budget is not None else config.make_budget()
+        self.buffer_seconds = None if config.mode == "reference" \
+            else config.buffer_seconds
+        self.support_custom_shedding = config.support_custom_shedding
+        self.feature_method = config.feature_method
+        self.feature_kwargs = dict(config.feature_kwargs)
+        self.measurement_noise = config.measurement_noise
+        self.system_overhead_fixed = config.system_overhead_fixed
+        self.system_overhead_per_packet = config.system_overhead_per_packet
+        self.reactive_min_rate = config.reactive_min_rate
+        self.seed = config.seed
+        self._rng = np.random.default_rng(config.seed)
+
+        self.controller = LoadSheddingController(strategy=config.strategy)
         self.enforcer = CustomShedEnforcer()
         self._runtimes: Dict[str, _QueryRuntime] = {}
         self._prev_reactive_rate = 1.0
@@ -275,23 +300,29 @@ class MonitoringSystem:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    def open_session(self, time_bin: float = 0.1, name: str = "live"):
+        """Open a push-based :class:`~repro.monitor.session.MonitoringSession`.
+
+        The session owns the execution: feed it batches with
+        ``session.ingest(batch)``, reconfigure it live (``add_query``,
+        ``remove_query``, ``set_capacity``) and finish with
+        ``session.close()``.  Opening a session resets all per-execution
+        state, exactly as :meth:`run` does.
+        """
+        from .session import MonitoringSession
+        return MonitoringSession(self, time_bin=time_bin, name=name)
+
     def run(self, trace: PacketTrace, time_bin: float = 0.1) -> ExecutionResult:
-        """Run the system over a trace and return the execution record."""
-        self._reset()
-        budget = CycleBudget(self.budget.cycles_per_second, time_bin)
-        clock = CycleClock(budget)
-        buffer = CaptureBuffer(self.buffer_seconds,
-                               cycles_per_second=budget.cycles_per_second)
-        self.controller.configure_budget(budget.per_bin, buffer.capacity_cycles)
-        result = ExecutionResult(self.mode, self.strategy_name, trace.name,
-                                 budget)
-        for index, batch in enumerate(trace.batches(time_bin)):
-            record = self._process_bin(index, batch, clock, buffer)
-            result.bins.append(record)
-        self._final_flush(trace, result)
-        for name, runtime in self._runtimes.items():
-            result.query_logs[name] = runtime.log
-        return result
+        """Run the system over a trace and return the execution record.
+
+        Thin wrapper over the streaming session API: it opens a session,
+        ingests every batch of the trace and closes the session.  Driving a
+        session by hand over the same batches is bit-identical.
+        """
+        session = self.open_session(time_bin=time_bin, name=trace.name)
+        for batch in trace.batches(time_bin):
+            session.ingest(batch)
+        return session.close()
 
     def _reset(self) -> None:
         for runtime in self._runtimes.values():
@@ -319,14 +350,21 @@ class MonitoringSystem:
             runtime.log.append(runtime.interval_start, result)
             runtime.interval_start += interval
 
-    def _final_flush(self, trace: PacketTrace, result: ExecutionResult) -> None:
-        """Flush the last (possibly partial) measurement interval."""
+    def _flush_runtime_final(self, runtime: _QueryRuntime) -> None:
+        """Flush one query's last (possibly partial) measurement interval.
+
+        Called when an execution ends and when a query departs mid-session.
+        """
+        if runtime.interval_start is None:
+            return
+        final = runtime.query.interval_result()
+        runtime.query.consume_cycles()
+        runtime.log.append(runtime.interval_start, final)
+
+    def _final_flush(self) -> None:
+        """Flush the last (possibly partial) measurement intervals."""
         for runtime in self._runtimes.values():
-            if runtime.interval_start is None:
-                continue
-            final = runtime.query.interval_result()
-            runtime.query.consume_cycles()
-            runtime.log.append(runtime.interval_start, final)
+            self._flush_runtime_final(runtime)
 
     # ------------------------------------------------------------------
     def _process_bin(self, index: int, batch: Batch, clock: CycleClock,

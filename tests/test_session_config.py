@@ -1,0 +1,380 @@
+"""Tests for the SystemConfig / MonitoringSession API redesign.
+
+Three families:
+
+* **Config** — eager validation with helpful messages, ``replace``, and
+  ``to_dict``/``from_dict`` round-tripping (the serialisation contract that
+  lets grids, pool workers and checkpoints speak one type).
+* **Session** — ``run()`` must be bit-identical to driving
+  ``open_session``/``ingest``/``close`` by hand; live ``add_query`` must
+  reproduce the pre-registered arrival scenario of Figure 6.9 bit for bit;
+  departures must flush logs and leave no stale enforcer/controller state;
+  ``set_capacity`` must take effect at the next bin boundary.
+* **Shim** — the legacy ``**system_kwargs`` surface of the experiment
+  helpers keeps working (user overrides now *win* over harness defaults
+  instead of raising ``TypeError``) but warns with
+  :class:`ReproDeprecationWarning`.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import MonitoringSystem, ReproDeprecationWarning, SystemConfig
+from repro.experiments import runner
+from repro.queries import make_query
+
+QUERY_SET = ("counter", "flows", "top-k")
+
+
+@pytest.fixture(scope="module")
+def calibrated(small_trace):
+    return runner.calibrate_capacity(QUERY_SET, small_trace)
+
+
+def _fingerprint(result):
+    return {
+        "query_cycles": result.series("query_cycles"),
+        "mean_rate": result.series("mean_rate"),
+        "dropped_packets": result.series("dropped_packets"),
+        "predicted_cycles": result.series("predicted_cycles"),
+    }
+
+
+def _assert_results_identical(first, second):
+    first_series, second_series = _fingerprint(first), _fingerprint(second)
+    for name in first_series:
+        assert np.array_equal(first_series[name], second_series[name]), name
+    assert set(first.query_logs) == set(second.query_logs)
+    for name, log in first.query_logs.items():
+        assert log.intervals == second.query_logs[name].intervals
+        assert log.results == second.query_logs[name].results
+
+
+# ----------------------------------------------------------------------
+# SystemConfig
+# ----------------------------------------------------------------------
+class TestSystemConfig:
+    def test_roundtrip_to_dict_from_dict(self):
+        config = SystemConfig(mode="reactive", strategy="mmfs_cpu",
+                              predictor="ewma",
+                              predictor_kwargs={"alpha": 0.5},
+                              cycles_per_second=2.5e8, buffer_seconds=0.4,
+                              feature_method="exact", measurement_noise=0.05,
+                              reactive_min_rate=0.1, seed=11)
+        data = config.to_dict()
+        # The dict must be plain JSON (what a checkpoint or a grid spec is).
+        rebuilt = SystemConfig.from_dict(json.loads(json.dumps(data)))
+        assert rebuilt == config
+        assert rebuilt.to_dict() == data
+
+    def test_replace_revalidates_and_preserves(self):
+        config = SystemConfig(strategy="mmfs_pkt")
+        changed = config.replace(seed=9, cycles_per_second=1e8)
+        assert changed.strategy == "mmfs_pkt"
+        assert changed.seed == 9
+        assert config.seed == 0, "replace must not mutate the original"
+        with pytest.raises(ValueError, match="valid modes"):
+            config.replace(mode="warp-speed")
+        with pytest.raises(ValueError, match="unknown SystemConfig fields"):
+            config.replace(warp_factor=9)
+
+    def test_mode_alias_canonicalised(self):
+        assert SystemConfig(mode="no_lshed").mode == "original"
+
+    @pytest.mark.parametrize("kwargs, message", [
+        ({"strategy": "fair-ish"}, "valid strategies"),
+        ({"predictor": "oracle"}, "valid predictors"),
+        ({"mode": "turbo"}, "valid modes"),
+        ({"feature_method": "sketchy"}, "valid methods"),
+        ({"cycles_per_second": -1.0}, "cycles_per_second"),
+        ({"reactive_min_rate": 1.5}, "reactive_min_rate"),
+    ])
+    def test_eager_validation_lists_options(self, kwargs, message):
+        with pytest.raises(ValueError, match=message):
+            SystemConfig(**kwargs)
+
+    def test_monitoring_system_validates_eagerly(self):
+        # The constructor path goes through SystemConfig, so a typo fails at
+        # construction, not deep inside the controller on first use.
+        with pytest.raises(ValueError, match="valid strategies"):
+            MonitoringSystem([make_query("counter")], strategy="fair-ish")
+        with pytest.raises(ValueError, match="valid predictors"):
+            MonitoringSystem([make_query("counter")], predictor="oracle")
+
+    def test_callable_strategy_allowed_but_not_serialisable(self):
+        from repro.core.fairness import eq_srates
+        config = SystemConfig(strategy=eq_srates)
+        assert callable(config.strategy)
+        with pytest.raises(TypeError, match="not serialisable"):
+            config.to_dict()
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown SystemConfig fields"):
+            SystemConfig.from_dict({"mode": "predictive", "warp_factor": 9})
+
+    def test_build_constructs_equivalent_system(self, small_trace, calibrated):
+        capacity, _ = calibrated
+        config = runner.system_config(strategy="mmfs_pkt",
+                                      cycles_per_second=capacity * 0.5)
+        built = config.build([make_query(n) for n in QUERY_SET])
+        assert built.config == config
+        kwargs_system = MonitoringSystem.from_config(
+            config, [make_query(n) for n in QUERY_SET])
+        _assert_results_identical(built.run(small_trace),
+                                  kwargs_system.run(small_trace))
+
+
+# ----------------------------------------------------------------------
+# MonitoringSession
+# ----------------------------------------------------------------------
+class TestSessionEquivalence:
+    def test_run_is_bit_identical_to_manual_session(self, small_trace,
+                                                    calibrated):
+        capacity, _ = calibrated
+        config = runner.system_config(cycles_per_second=capacity * 0.5)
+        ran = config.build([make_query(n) for n in QUERY_SET]).run(small_trace)
+
+        system = config.build([make_query(n) for n in QUERY_SET])
+        session = system.open_session(time_bin=runner.TIME_BIN,
+                                      name=small_trace.name)
+        records = [session.ingest(batch)
+                   for batch in small_trace.batches(runner.TIME_BIN)]
+        streamed = session.close()
+
+        assert len(records) == len(ran.bins)
+        _assert_results_identical(ran, streamed)
+        # close() is idempotent and ingest-after-close is an error.
+        assert session.close() is streamed
+        with pytest.raises(RuntimeError):
+            session.ingest(next(iter(small_trace.batches(runner.TIME_BIN))))
+
+    def test_live_add_query_matches_preregistered_arrival(self, small_trace,
+                                                          calibrated):
+        """The Chapter 6 dynamic-arrival behaviour, both ways.
+
+        Pre-registering a query with ``start_time`` (the old offline idiom)
+        and submitting it live through ``session.add_query`` when the stream
+        reaches the arrival time must produce bit-identical executions.
+        """
+        capacity, _ = calibrated
+        arrival = small_trace.duration * 0.5
+        config = runner.system_config(cycles_per_second=capacity * 0.6)
+
+        offline = config.build([make_query("counter"), make_query("flows")])
+        offline.add_query(make_query("top-k"), start_time=arrival)
+        expected = offline.run(small_trace)
+
+        live = config.build([make_query("counter"), make_query("flows")])
+        session = live.open_session(time_bin=runner.TIME_BIN,
+                                    name=small_trace.name)
+        added = False
+        for batch in small_trace.batches(runner.TIME_BIN):
+            if not added and batch.start_ts + 1e-9 >= arrival:
+                session.add_query(make_query("top-k"), start_time=arrival)
+                added = True
+            session.ingest(batch)
+        streamed = session.close()
+
+        assert added
+        _assert_results_identical(expected, streamed)
+        # The arriving query really was inactive before its arrival bin.
+        early = [record for record in streamed.bins
+                 if record.start_ts + 1e-9 < arrival]
+        assert early and all("top-k" not in record.rates for record in early)
+
+    def test_figure_6_9_runs_on_session_api(self, payload_trace_small):
+        from repro.experiments import chapter6
+        outcome = chapter6.figure_6_9_query_arrivals(trace=payload_trace_small)
+        assert "top-k" in outcome["accuracy"]
+        assert "p2p-detector" in outcome["accuracy"]
+        rates = outcome["rates_over_time"]["top-k"]
+        arrival = list(outcome["arrival_times"].values())[0]
+        assert np.all(rates[:max(1, int(arrival / runner.TIME_BIN) - 1)] == 1.0)
+
+
+class TestSessionLiveReconfiguration:
+    def test_remove_query_flushes_log_and_clears_state(self, small_trace,
+                                                       calibrated):
+        capacity, _ = calibrated
+        config = runner.system_config(cycles_per_second=capacity * 0.6)
+        system = config.build([make_query("counter"), make_query("flows")])
+        session = system.open_session(time_bin=runner.TIME_BIN)
+        batches = small_trace.batch_list(runner.TIME_BIN)
+        half = len(batches) // 2
+        for batch in batches[:half]:
+            session.ingest(batch)
+        # Leave a trace in the per-query state the removal must clear.
+        system.enforcer.record("flows", expected_cycles=1.0,
+                               actual_cycles=100.0, bin_index=0)
+        session.remove_query("flows")
+        for batch in batches[half:]:
+            session.ingest(batch)
+        result = session.close()
+
+        # Departed mid-stream: present in the result, absent from late bins.
+        assert "flows" in result.query_logs
+        assert len(result.query_logs["flows"]) > 0
+        assert all("flows" not in record.rates
+                   for record in result.bins[half:])
+        assert "flows" not in system.query_names
+        # No stale enforcer/controller state survives the departure.
+        assert system.enforcer.state("flows").total_violations == 0
+        assert "flows" not in system.controller.last_rates
+
+    def test_remove_then_readd_same_name_starts_clean(self, small_trace,
+                                                      calibrated):
+        capacity, _ = calibrated
+        config = runner.system_config(cycles_per_second=capacity * 0.6)
+        system = config.build([make_query("counter"), make_query("flows")])
+        session = system.open_session(time_bin=runner.TIME_BIN)
+        batches = small_trace.batch_list(runner.TIME_BIN)
+        third = len(batches) // 3
+        for batch in batches[:third]:
+            session.ingest(batch)
+        session.remove_query("flows")
+        session.add_query(make_query("flows"))
+        for batch in batches[third:]:
+            session.ingest(batch)
+        result = session.close()
+        # The re-added query ran (rates appear again after the boundary) and
+        # the final result holds the newer query's log.
+        assert any("flows" in record.rates for record in result.bins[third:])
+        assert len(result.query_logs["flows"]) > 0
+
+    def test_unknown_removal_and_duplicate_add_rejected(self, small_trace):
+        system = runner.system_config().build([make_query("counter")])
+        session = system.open_session()
+        with pytest.raises(KeyError):
+            session.remove_query("nope")
+        with pytest.raises(ValueError, match="already registered"):
+            session.add_query(make_query("counter"))
+        # A double removal fails at the second call, not later inside
+        # ingest() when the queued duplicate is applied.
+        session.remove_query("counter")
+        with pytest.raises(KeyError):
+            session.remove_query("counter")
+
+    def test_departed_log_survives_readd_and_second_departure(
+            self, small_trace, calibrated):
+        """A replaced query's flushed intervals must not be overwritten."""
+        capacity, _ = calibrated
+        config = runner.system_config(cycles_per_second=capacity)
+        system = config.build([make_query("counter"), make_query("flows")])
+        session = system.open_session(time_bin=runner.TIME_BIN)
+        batches = small_trace.batch_list(runner.TIME_BIN)
+        third = len(batches) // 3
+        for batch in batches[:third]:
+            session.ingest(batch)
+        session.remove_query("flows")
+        session.add_query(make_query("flows"))
+        for batch in batches[third: 2 * third]:
+            session.ingest(batch)
+        first_lifetime = len(session.partial_result().query_logs["flows"])
+        assert first_lifetime > 0
+        session.remove_query("flows")   # departs a second time
+        for batch in batches[2 * third:]:
+            session.ingest(batch)
+        result = session.close()
+        log = result.query_logs["flows"]
+        # Both lifetimes are present, in chronological order.
+        assert len(log) > first_lifetime
+        assert log.intervals == sorted(log.intervals)
+
+    def test_set_capacity_takes_effect_next_bin(self, small_trace,
+                                                calibrated):
+        capacity, _ = calibrated
+        config = runner.system_config(cycles_per_second=capacity * 2.0)
+        system = config.build([make_query(n) for n in QUERY_SET])
+        session = system.open_session(time_bin=runner.TIME_BIN)
+        batches = small_trace.batch_list(runner.TIME_BIN)
+        half = len(batches) // 2
+        for batch in batches[:half]:
+            session.ingest(batch)
+        before = session.partial_result()
+        assert before.mean_sampling_rate() > 0.98, "ample capacity: no shedding"
+        session.set_capacity(capacity * 0.3)
+        after_records = [session.ingest(batch) for batch in batches[half:]]
+        session.close()
+        # The budget visible to the pipeline changed exactly at the boundary.
+        assert before.bins[-1].available_cycles == \
+            pytest.approx(capacity * 2.0 * runner.TIME_BIN)
+        assert after_records[0].available_cycles == \
+            pytest.approx(capacity * 0.3 * runner.TIME_BIN)
+        # And the system started shedding under the reduced capacity.
+        late_rates = [record.mean_rate for record in after_records]
+        assert min(late_rates) < 0.95
+
+    def test_partial_result_is_a_stable_snapshot(self, small_trace,
+                                                 calibrated):
+        capacity, reference = calibrated
+        config = runner.system_config(cycles_per_second=capacity * 0.5)
+        system = config.build([make_query(n) for n in QUERY_SET])
+        session = system.open_session(time_bin=runner.TIME_BIN)
+        batches = small_trace.batch_list(runner.TIME_BIN)
+        for batch in batches[: len(batches) // 2]:
+            session.ingest(batch)
+        snapshot = session.partial_result()
+        bins_then = len(snapshot.bins)
+        logs_then = {name: len(log)
+                     for name, log in snapshot.query_logs.items()}
+        # Accuracy-so-far is computable against a full reference execution.
+        accuracy = runner.accuracy_by_query(snapshot, reference)
+        assert set(accuracy) == set(QUERY_SET)
+        for batch in batches[len(batches) // 2:]:
+            session.ingest(batch)
+        session.close()
+        # Continuing the session must not mutate the earlier snapshot.
+        assert len(snapshot.bins) == bins_then
+        assert {name: len(log)
+                for name, log in snapshot.query_logs.items()} == logs_then
+
+
+# ----------------------------------------------------------------------
+# Legacy kwargs shim
+# ----------------------------------------------------------------------
+class TestKwargsShim:
+    def test_feature_method_override_no_longer_collides(self, small_trace,
+                                                        calibrated):
+        """Regression: ``**FEATURE_CONFIG`` vs ``**system_kwargs`` collision.
+
+        ``run_system(..., feature_method='exact')`` used to raise
+        ``TypeError: got multiple values for keyword argument``; the user
+        override must simply win over the harness default (via the
+        deprecation shim).
+        """
+        capacity, _ = calibrated
+        with pytest.warns(ReproDeprecationWarning):
+            result = runner.run_system(["counter"], small_trace, capacity,
+                                       feature_method="exact")
+        assert result.total_packets == len(small_trace)
+        with pytest.warns(ReproDeprecationWarning):
+            bitmap = runner.run_system(["counter"], small_trace, capacity,
+                                       feature_method="bitmap")
+        assert bitmap.total_packets == len(small_trace)
+
+    def test_shim_kwargs_reach_the_system(self, small_trace, calibrated):
+        capacity, _ = calibrated
+        with pytest.warns(ReproDeprecationWarning):
+            result, _ = runner.run_with_overload(
+                ("counter",), small_trace, 0.3, base_capacity=capacity,
+                reference=object(), seed=5)
+        assert isinstance(result.mean_sampling_rate(), float)
+
+    def test_config_path_does_not_warn(self, small_trace, calibrated):
+        import warnings
+        capacity, _ = calibrated
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", ReproDeprecationWarning)
+            runner.run_system(["counter"], small_trace, capacity,
+                              config=runner.system_config(seed=5))
+
+    def test_shim_and_config_agree(self, small_trace, calibrated):
+        capacity, _ = calibrated
+        with pytest.warns(ReproDeprecationWarning):
+            shimmed = runner.run_system(QUERY_SET, small_trace,
+                                        capacity * 0.5, seed=3)
+        canonical = runner.run_system(QUERY_SET, small_trace, capacity * 0.5,
+                                      config=runner.system_config(seed=3))
+        _assert_results_identical(shimmed, canonical)
