@@ -1,6 +1,5 @@
 """Benchmarks: Chapter 3 — the prediction system (Tables 3.2-3.4, Figs 3.1-3.15)."""
 
-import numpy as np
 from conftest import BENCH_SCALE, run_once
 
 from repro.experiments import chapter3, reporting

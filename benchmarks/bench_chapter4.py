@@ -1,6 +1,5 @@
 """Benchmarks: Chapter 4 — the load shedding system (Table 4.1, Figs 4.1-4.6)."""
 
-import numpy as np
 from conftest import BENCH_SCALE, run_once
 
 from repro.experiments import chapter4, reporting, scenarios

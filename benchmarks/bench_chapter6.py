@@ -1,6 +1,5 @@
 """Benchmarks: Chapter 6 — custom load shedding (Table 6.2, Figs 6.1-6.14)."""
 
-import numpy as np
 from conftest import BENCH_SCALE, run_once
 
 from repro.experiments import chapter6, reporting

@@ -34,7 +34,8 @@ from .core import (EWMAPredictor, FeatureExtractor, LoadSheddingController,
 from .core.cycles import CycleBudget
 from .monitor import (Batch, ExecutionResult, MonitoringSession,
                       MonitoringSystem, PacketTrace, Query,
-                      ReproDeprecationWarning, SystemConfig)
+                      ReproDeprecationWarning, ShardedSession, ShardedSystem,
+                      SystemConfig)
 from .queries import make_query, standard_queries
 from .traffic import generate_trace, load_preset
 
@@ -54,6 +55,8 @@ __all__ = [
     "Query",
     "ReproDeprecationWarning",
     "SLRPredictor",
+    "ShardedSession",
+    "ShardedSystem",
     "SystemConfig",
     "__version__",
     "generate_trace",

@@ -21,7 +21,7 @@ enforcement policy implemented here mirrors Section 6.1.1:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 #: EWMA weight of the correction factor.

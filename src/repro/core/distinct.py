@@ -19,9 +19,6 @@ Both counters share a small interface:
 
 from __future__ import annotations
 
-import math
-from typing import Optional
-
 import numpy as np
 
 

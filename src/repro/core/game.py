@@ -19,7 +19,7 @@ checker used to verify the theorem empirically.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 import numpy as np
 

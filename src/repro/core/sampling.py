@@ -118,3 +118,17 @@ def scale_estimate(value: float, sampling_rate: float) -> float:
     if rate <= 0.0:
         return 0.0
     return float(value) / rate
+
+
+def scale_estimates(values: np.ndarray, sampling_rate: float) -> np.ndarray:
+    """Vectorised :func:`scale_estimate` over an array of sampled values.
+
+    Element-for-element identical to calling the scalar version (same
+    float64 division), which is what lets vectorised query paths replace
+    per-item loops without perturbing golden results.
+    """
+    rate = _validate_rate(sampling_rate)
+    values = np.asarray(values, dtype=np.float64)
+    if rate <= 0.0:
+        return np.zeros_like(values)
+    return values / rate

@@ -26,7 +26,6 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from .fairness import Allocation, QueryDemand, Strategy, get_strategy
-from .features import FeatureVector
 
 #: Weight of the EWMAs tracking prediction error and shedding overhead
 #: (Section 4.3 sets alpha = 0.9 to react quickly).

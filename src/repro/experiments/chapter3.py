@@ -15,7 +15,6 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..core.fcbf import selection_cost
-from ..core.features import FeatureVector
 from ..core.prediction import (EWMAPredictor, MLRPredictor, SLRPredictor)
 from ..monitor.packet import PacketTrace
 from ..queries import VALIDATION_SEVEN, make_query

@@ -11,10 +11,7 @@ from typing import Dict, Optional, Sequence
 
 import numpy as np
 
-from ..core.cycles import CycleBudget
 from ..monitor.packet import PacketTrace
-from ..monitor.system import MonitoringSystem
-from ..queries import make_query
 from . import runner, scenarios
 
 #: Query set of the Chapter 4 evaluation (the seven of Table 3.2).

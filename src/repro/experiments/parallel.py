@@ -31,6 +31,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..core.pool import fork_pool_map
 from ..monitor.packet import PacketTrace
 from ..monitor.system import MODES, MODE_ALIASES, ExecutionResult
 from . import runner, scenarios
@@ -67,13 +68,24 @@ class ScenarioCell:
     queries: Tuple[str, ...] = DEFAULT_QUERY_SET
     scale: float = 1.0
     time_bin: float = runner.TIME_BIN
+    num_shards: int = 1
+    shard_rebalance: bool = True
     seed: int = 0
 
     @property
     def cell_id(self) -> str:
-        """Human-readable coordinate string (also the seeding key)."""
-        return (f"{self.trace}/K={self.overload:g}/{self.mode}/"
+        """Human-readable coordinate string (also the seeding key).
+
+        Unsharded cells keep the historical coordinate format so the frozen
+        golden seed expectations stay valid; sharded cells append their
+        shard count (and a rebalance marker) as an extra coordinate.
+        """
+        base = (f"{self.trace}/K={self.overload:g}/{self.mode}/"
                 f"{self.strategy}/{self.predictor}")
+        if self.num_shards == 1:
+            return base
+        suffix = "" if self.shard_rebalance else "-static"
+        return f"{base}/shards={self.num_shards}{suffix}"
 
     def group_key(self) -> Tuple:
         """Cells with equal group keys share a trace and a calibration."""
@@ -83,7 +95,9 @@ class ScenarioCell:
         """The :class:`repro.SystemConfig` this cell's system is built from."""
         return runner.system_config(
             mode=self.mode, strategy=self.strategy, predictor=self.predictor,
-            seed=self.seed, cycles_per_second=cycles_per_second)
+            seed=self.seed, cycles_per_second=cycles_per_second,
+            num_shards=self.num_shards,
+            shard_rebalance=self.shard_rebalance)
 
 
 @dataclass
@@ -106,6 +120,11 @@ class ScenarioMatrix:
         Query set shared by every cell.
     scale:
         Workload scale factor forwarded to the trace builders.
+    num_shards:
+        Shard counts — a full matrix axis, so sharded and unsharded
+        executions of the same scenario can be compared cell for cell.
+    shard_rebalance:
+        Whether sharded cells rebalance capacity between shards per bin.
     base_seed:
         Root of the deterministic per-cell seed derivation.
     """
@@ -118,6 +137,8 @@ class ScenarioMatrix:
     queries: Sequence[str] = DEFAULT_QUERY_SET
     scale: float = 1.0
     time_bin: float = runner.TIME_BIN
+    num_shards: Sequence[int] = (1,)
+    shard_rebalance: bool = True
     base_seed: int = 0
 
     def __post_init__(self) -> None:
@@ -141,13 +162,16 @@ class ScenarioMatrix:
             get_strategy(strategy)
         for predictor in self.predictors:
             make_predictor(predictor)
+        for shards in self.num_shards:
+            if int(shards) < 1:
+                raise ValueError("num_shards entries must be >= 1")
 
     def cells(self) -> List[ScenarioCell]:
         """Expand the grid into deterministically-seeded cells."""
         expanded: List[ScenarioCell] = []
-        for trace, overload, mode, strategy, predictor in product(
+        for trace, overload, mode, strategy, predictor, shards in product(
                 self.traces, self.overloads, self.modes, self.strategies,
-                self.predictors):
+                self.predictors, self.num_shards):
             cell = ScenarioCell(
                 trace=trace,
                 overload=float(overload),
@@ -157,6 +181,8 @@ class ScenarioMatrix:
                 queries=tuple(self.queries),
                 scale=float(self.scale),
                 time_bin=float(self.time_bin),
+                num_shards=int(shards),
+                shard_rebalance=bool(self.shard_rebalance),
             )
             expanded.append(replace(
                 cell, seed=derive_seed(self.base_seed, cell.cell_id)))
@@ -164,7 +190,8 @@ class ScenarioMatrix:
 
     def __len__(self) -> int:
         return (len(self.traces) * len(self.overloads) * len(self.modes) *
-                len(self.strategies) * len(self.predictors))
+                len(self.strategies) * len(self.predictors) *
+                len(self.num_shards))
 
     def trace_seed(self, trace: str) -> int:
         """Seed used to synthesise a workload trace of this matrix."""
@@ -234,6 +261,7 @@ class CellResult:
             "mode": self.cell.mode,
             "strategy": self.cell.strategy,
             "predictor": self.cell.predictor,
+            "num_shards": self.cell.num_shards,
             "drop_fraction": self.drop_fraction,
             "mean_sampling_rate": self.mean_sampling_rate,
             "mean_accuracy": self.mean_accuracy,
@@ -359,25 +387,12 @@ class ParallelRunner:
 
     def _execute(self, jobs: List[Tuple[ScenarioCell, int, float]]
                  ) -> List[ExecutionResult]:
-        # The cells are CPU-bound: a pool wider than the core count only
-        # adds fork and IPC overhead, so the requested worker count is
-        # clamped to the host unless the caller opts out.  Results do not
-        # depend on the pool size (or on whether a pool is used at all) —
-        # every path runs the same pure job function.
-        workers = min(self.n_workers, len(jobs))
-        if self.respect_cores:
-            workers = min(workers, os.cpu_count() or 1)
-        if workers <= 1:
-            return [_execute_cell(job) for job in jobs]
-        import multiprocessing
-        from concurrent.futures import ProcessPoolExecutor
-        try:
-            context = multiprocessing.get_context("fork")
-        except ValueError:  # pragma: no cover - non-POSIX platforms
-            context = None
-        with ProcessPoolExecutor(max_workers=workers,
-                                 mp_context=context) as pool:
-            return list(pool.map(_execute_cell, jobs, chunksize=1))
+        # Results do not depend on the pool size (or on whether a pool is
+        # used at all) — every path runs the same pure job function, and
+        # the shared fork-pool helper clamps the pool to the host's cores
+        # unless the caller opts out.
+        return fork_pool_map(_execute_cell, jobs, self.n_workers,
+                             respect_cores=self.respect_cores)
 
 
 def run_matrix(matrix: ScenarioMatrix,

@@ -30,6 +30,7 @@ from ..monitor import metrics
 from ..monitor.config import ReproDeprecationWarning, SystemConfig
 from ..monitor.packet import PacketTrace
 from ..monitor.query import SAMPLING_FLOW, Query
+from ..monitor.sharding import ShardedSystem
 from ..monitor.system import ExecutionResult, MonitoringSystem
 from ..queries import make_query
 
@@ -231,6 +232,7 @@ def run_system(query_names: Sequence[str], trace: PacketTrace,
                predictor: Optional[str] = None, time_bin: float = TIME_BIN,
                query_kwargs: Optional[Dict[str, dict]] = None,
                config: Optional[SystemConfig] = None,
+               num_shards: Optional[int] = None,
                **system_kwargs) -> ExecutionResult:
     """Run a freshly-built system over a trace with an explicit capacity.
 
@@ -240,11 +242,24 @@ def run_system(query_names: Sequence[str], trace: PacketTrace,
     remain as named conveniences and override the config; passing other
     ``MonitoringSystem`` knobs as loose keyword arguments is deprecated —
     put them in the config instead.
+
+    With ``num_shards > 1`` (named argument or config field) the execution
+    runs on a :class:`~repro.monitor.sharding.ShardedSystem`: the stream is
+    flow-hash partitioned across that many shard pipelines (each owning
+    ``1/num_shards`` of the capacity, rebalanced per bin when
+    ``config.shard_rebalance`` is set) and the returned result is the
+    merged, stream-global one.
     """
-    queries = _make_queries(query_names, query_kwargs)
     config = _resolve_config(config, mode=mode, strategy=strategy,
                              predictor=predictor, system_kwargs=system_kwargs)
+    if num_shards is not None:
+        config = config.replace(num_shards=int(num_shards))
     config = config.replace(cycles_per_second=float(cycles_per_second))
+    if config.num_shards > 1:
+        sharded = ShardedSystem(
+            lambda: _make_queries(query_names, query_kwargs), config=config)
+        return sharded.run(trace, time_bin=time_bin)
+    queries = _make_queries(query_names, query_kwargs)
     system = MonitoringSystem.from_config(config, queries)
     return system.run(trace, time_bin=time_bin)
 

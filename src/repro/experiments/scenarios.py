@@ -9,8 +9,7 @@ not depend on it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..monitor.packet import PacketTrace
 from ..queries import EVALUATION_NINE, VALIDATION_SEVEN

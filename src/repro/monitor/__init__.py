@@ -8,14 +8,19 @@ from .packet import (PROTO_ICMP, PROTO_TCP, PROTO_UDP, Batch, Packet,
                      PacketTrace, format_ip, ip)
 from .query import (SAMPLING_CUSTOM, SAMPLING_FLOW, SAMPLING_PACKET, Query,
                     QueryResultLog)
+from .pipeline import BinPipeline
 from .session import MonitoringSession
+from .sharding import ShardedSession, ShardedSystem
 from .system import (BinRecord, ExecutionResult, MonitoringSystem)
 
 __all__ = [
     "Batch",
+    "BinPipeline",
     "BinRecord",
     "BufferStatus",
     "CaptureBuffer",
+    "ShardedSession",
+    "ShardedSystem",
     "ExecutionResult",
     "MODES",
     "MODE_ALIASES",

@@ -78,6 +78,18 @@ class SystemConfig:
     system_overhead_per_packet: float = 20.0
     reactive_min_rate: float = 0.0
     seed: int = 0
+    #: Number of flow-hash shards the stream is partitioned over.  ``1``
+    #: runs the classic single-system data path; ``> 1`` is honoured by
+    #: :class:`~repro.monitor.sharding.ShardedSystem` (and by
+    #: ``runner.run_system``, which routes there automatically).
+    num_shards: int = 1
+    #: Per-bin capacity rebalancing between shards: unused predicted
+    #: headroom on underloaded shards is lent to overloaded ones before
+    #: they shed.
+    shard_rebalance: bool = True
+    #: Fraction of its base capacity share a shard always retains, so a
+    #: momentarily idle shard is never starved below a working minimum.
+    shard_rebalance_floor: float = 0.1
 
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
@@ -119,6 +131,14 @@ class SystemConfig:
         if not 0.0 <= self.reactive_min_rate <= 1.0:
             raise ValueError("reactive_min_rate must be in [0, 1]")
         set_(self, "seed", int(self.seed))
+        set_(self, "num_shards", int(self.num_shards))
+        if self.num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        set_(self, "shard_rebalance", bool(self.shard_rebalance))
+        set_(self, "shard_rebalance_floor",
+             float(self.shard_rebalance_floor))
+        if not 0.0 < self.shard_rebalance_floor <= 1.0:
+            raise ValueError("shard_rebalance_floor must be in (0, 1]")
 
     # ------------------------------------------------------------------
     def replace(self, **changes: Any) -> "SystemConfig":
@@ -166,7 +186,14 @@ class SystemConfig:
         return CycleBudget(self.cycles_per_second, time_bin)
 
     def build(self, queries=None) -> "MonitoringSystem":  # noqa: F821
-        """Construct a :class:`MonitoringSystem` from this config."""
+        """Construct a :class:`MonitoringSystem` from this config.
+
+        A sharded config (``num_shards > 1``) cannot be built from query
+        *instances* — every shard needs its own copies — so building one
+        here raises; construct a
+        :class:`~repro.monitor.sharding.ShardedSystem` with a query factory
+        instead (``runner.run_system`` does this automatically).
+        """
         from .system import MonitoringSystem
         return MonitoringSystem.from_config(self, queries)
 

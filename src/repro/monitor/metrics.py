@@ -21,7 +21,7 @@ conventions of the paper are followed:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List
 
 import numpy as np
 

@@ -22,7 +22,7 @@ Column layout
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -281,6 +281,44 @@ class Batch:
         sub._parent = self
         sub._parent_index = idx
         return sub
+
+    def partition(self, num_shards: int,
+                  fields: Sequence[str] = HEADER_FIELDS) -> List["Batch"]:
+        """Split the batch into ``num_shards`` sub-batches by flow hash.
+
+        Every packet is assigned ``combine_columns(fields) % num_shards``,
+        so all packets sharing the given header aggregate (by default the
+        full 5-tuple, i.e. a flow) land on the same shard — the invariant
+        flow-state queries and flowwise sampling rely on when a stream is
+        processed by sharded workers.  Packets keep their chronological
+        order inside each shard, and every sub-batch keeps the parent's
+        ``start_ts``/``time_bin`` so shards observe the same bin timeline
+        (a shard with no packets gets an empty batch, not a missing bin).
+
+        The split is memoised per ``(num_shards, fields)``: repeated
+        executions over a memoised trace partition each batch only once.
+        """
+        num_shards = int(num_shards)
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if num_shards == 1:
+            return [self]
+        fields = tuple(fields)
+
+        def build() -> List["Batch"]:
+            if len(self) == 0:
+                return [self.select(np.empty(0, dtype=np.intp))
+                        for _ in range(num_shards)]
+            shards = (self.aggregate_hashes(fields) %
+                      np.uint64(num_shards)).astype(np.intp)
+            # One stable sort groups the packets per shard while preserving
+            # arrival order inside each group.
+            order = np.argsort(shards, kind="stable")
+            bounds = np.searchsorted(shards[order], np.arange(num_shards + 1))
+            return [self.select(order[bounds[s]:bounds[s + 1]])
+                    for s in range(num_shards)]
+
+        return self.memo(("partition", num_shards, fields), build)
 
     @classmethod
     def empty(cls, time_bin: float = 0.1, start_ts: float = 0.0,

@@ -1,0 +1,321 @@
+"""The per-bin data path as composable pipeline stages.
+
+Historically :meth:`MonitoringSystem._process_bin` was one ~110-line method
+that executed the whole of Figure 3.2 for a time bin.  This module breaks
+that data path into explicit, reusable stage objects so a bin can be driven
+identically by a single :class:`~repro.monitor.system.MonitoringSystem`, by
+a streaming :class:`~repro.monitor.session.MonitoringSession`, or by one
+shard worker of a :class:`~repro.monitor.sharding.ShardedSystem`:
+
+``IntervalFlushStage``
+    Open the bin on the cycle clock, determine the active queries and flush
+    any completed measurement intervals.
+``AdmissionStage``
+    Capture-buffer admission: when the backlog exceeds the buffer the batch
+    is lost *uncontrollably* before any query sees it (the "DAG drops" of
+    Figure 4.2) and the bin ends early.
+``SystemOverheadStage``
+    Charge the CoMo base cost (fixed + per packet).
+``FilterStage``
+    Evaluate every active query's stateless packet filter (with per-batch
+    result sharing).
+``PredictionStage``
+    Feature extraction and per-query cycle prediction (predictive mode).
+``RateDecisionStage``
+    Turn predictions into per-query sampling rates (Algorithm 1 / Eq. 4.1 /
+    no-op, depending on the operating mode).
+``ExecutionStage``
+    Apply the rates — system packet/flow sampling or the query's custom
+    shedding method — and run the queries.
+``AccountingStage``
+    Close the bin: charge shedding overhead, feed the controller EWMAs and
+    buffer discovery, and assemble the :class:`BinRecord`.
+
+Stages share a mutable :class:`BinContext` and are stateless themselves;
+all cross-bin state lives on the system (controller, enforcer, runtimes), so
+one stage tuple instance can drive any number of systems concurrently.  A
+stage that finishes the bin early sets ``ctx.record`` and the pipeline stops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.fairness import QueryDemand
+from ..core.features import FeatureVector
+from .capture import CaptureBuffer
+from .packet import Batch
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.cycles import CycleClock
+    from .system import MonitoringSystem
+
+
+@dataclass
+class BinRecord:
+    """Everything recorded about one time bin of an execution."""
+
+    index: int
+    start_ts: float
+    incoming_packets: int
+    incoming_bytes: int
+    dropped_packets: int
+    unsampled_packets: float
+    predicted_cycles: float
+    query_cycles: float
+    prediction_overhead: float
+    shedding_overhead: float
+    system_overhead: float
+    available_cycles: float
+    delay: float
+    buffer_occupation: float
+    rates: Dict[str, float] = field(default_factory=dict)
+    query_cycles_by_query: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_cycles(self) -> float:
+        return (self.query_cycles + self.prediction_overhead +
+                self.shedding_overhead + self.system_overhead)
+
+    @property
+    def mean_rate(self) -> float:
+        return float(np.mean(list(self.rates.values()))) if self.rates else 1.0
+
+
+@dataclass
+class BinContext:
+    """Mutable state one time bin accumulates while flowing through stages."""
+
+    index: int
+    batch: Batch
+    clock: "CycleClock"
+    buffer: CaptureBuffer
+    #: Query runtimes active for this bin (arrival times already honoured).
+    active: List = field(default_factory=list)
+    #: CoMo base overhead charged for this bin.
+    como: float = 0.0
+    #: Per-query filtered sub-batches, keyed by query name.
+    filtered: Dict[str, Batch] = field(default_factory=dict)
+    #: Pre-shedding feature vectors (predictive mode only).
+    features_pre: Dict[str, FeatureVector] = field(default_factory=dict)
+    #: Per-query cycle predictions (predictive mode only).
+    predictions: Dict[str, float] = field(default_factory=dict)
+    #: Demands handed to the allocation strategy.
+    demands: List[QueryDemand] = field(default_factory=list)
+    #: Sampling rates decided (and possibly adjusted by custom shedding).
+    rates: Dict[str, float] = field(default_factory=dict)
+    query_cycles_by_query: Dict[str, float] = field(default_factory=dict)
+    shedding_cycles: float = 0.0
+    expected_after_shedding: float = 0.0
+    unsampled: float = 0.0
+    #: Set by the stage that finishes the bin; stops the pipeline.
+    record: Optional[BinRecord] = None
+
+
+class IntervalFlushStage:
+    """Open the bin and flush completed measurement intervals."""
+
+    def run(self, system: "MonitoringSystem", ctx: BinContext) -> None:
+        ctx.clock.start_bin()
+        ctx.active = system._active_runtimes(ctx.batch.start_ts)
+        for runtime in ctx.active:
+            system._flush_intervals(runtime, ctx.batch.start_ts)
+
+
+class AdmissionStage:
+    """Capture-buffer admission: a full buffer drops the batch uncontrolled."""
+
+    def run(self, system: "MonitoringSystem", ctx: BinContext) -> None:
+        status = ctx.buffer.status(ctx.clock.delay)
+        if not (status.dropping and len(ctx.batch) > 0):
+            return
+        # Uncontrolled loss: the batch never reaches the queries and the
+        # bin's cycles go into draining the backlog.
+        ctx.buffer.record_drop(len(ctx.batch))
+        usage = ctx.clock.end_bin()
+        system.controller.end_bin(
+            usage.total, ctx.clock.per_bin_budget,
+            ctx.buffer.status(ctx.clock.delay).occupation)
+        ctx.record = BinRecord(
+            index=ctx.index, start_ts=ctx.batch.start_ts,
+            incoming_packets=len(ctx.batch),
+            incoming_bytes=ctx.batch.byte_count,
+            dropped_packets=len(ctx.batch), unsampled_packets=0.0,
+            predicted_cycles=0.0, query_cycles=0.0,
+            prediction_overhead=0.0, shedding_overhead=0.0,
+            system_overhead=0.0,
+            available_cycles=ctx.clock.per_bin_budget,
+            delay=ctx.clock.delay, buffer_occupation=status.occupation,
+            rates={runtime.query.name: 0.0 for runtime in ctx.active},
+            query_cycles_by_query={},
+        )
+
+
+class SystemOverheadStage:
+    """Charge the CoMo base cost of touching the batch."""
+
+    def run(self, system: "MonitoringSystem", ctx: BinContext) -> None:
+        ctx.como = (system.system_overhead_fixed +
+                    system.system_overhead_per_packet * len(ctx.batch))
+        ctx.clock.charge_system(ctx.como)
+
+
+class FilterStage:
+    """Evaluate every active query's packet filter (shared per batch)."""
+
+    def run(self, system: "MonitoringSystem", ctx: BinContext) -> None:
+        for runtime in ctx.active:
+            ctx.filtered[runtime.query.name] = system._filtered_batch(
+                runtime.query.filter, ctx.batch)
+
+
+class PredictionStage:
+    """Extract features and predict per-query cycles (predictive mode)."""
+
+    def run(self, system: "MonitoringSystem", ctx: BinContext) -> None:
+        if system.mode != "predictive":
+            return
+        for runtime in ctx.active:
+            name = runtime.query.name
+            sub_batch = ctx.filtered[name]
+            feats = runtime.extractor.extract(sub_batch, update_state=False)
+            ctx.features_pre[name] = feats
+            prediction = runtime.predictor.predict(feats)
+            runtime.last_prediction = prediction
+            ctx.predictions[name] = prediction
+            ctx.clock.charge_prediction(
+                runtime.extractor.extraction_cost(sub_batch) +
+                runtime.predictor.overhead_cycles)
+            ctx.demands.append(QueryDemand(
+                name=name, predicted_cycles=prediction,
+                min_sampling_rate=runtime.query.minimum_sampling_rate))
+
+
+class RateDecisionStage:
+    """Decide per-query sampling rates for the bin."""
+
+    def run(self, system: "MonitoringSystem", ctx: BinContext) -> None:
+        ctx.rates = system._decide_rates(ctx.active, ctx.demands, ctx.clock,
+                                         ctx.como, ctx.batch)
+
+
+class ExecutionStage:
+    """Apply the rates and run the queries (sampled or custom shedding)."""
+
+    def run(self, system: "MonitoringSystem", ctx: BinContext) -> None:
+        for runtime in ctx.active:
+            name = runtime.query.name
+            rate = ctx.rates.get(name, 1.0)
+            sub_batch = ctx.filtered[name]
+            if system._uses_custom(runtime):
+                cycles, applied = system._run_custom(
+                    runtime, sub_batch, rate, ctx.predictions.get(name, 0.0),
+                    ctx.index, ctx.features_pre.get(name))
+                ctx.rates[name] = applied
+                ctx.unsampled += (1.0 - applied) * len(sub_batch)
+            else:
+                cycles, ls_cycles = system._run_sampled(
+                    runtime, sub_batch, rate, ctx.features_pre.get(name))
+                ctx.shedding_cycles += ls_cycles
+                ctx.unsampled += (1.0 - rate) * len(sub_batch)
+            ctx.query_cycles_by_query[name] = cycles
+            ctx.clock.charge_query(cycles)
+            ctx.expected_after_shedding += ctx.predictions.get(name, 0.0) * rate
+
+
+class AccountingStage:
+    """Close the bin: controller feedback and the final :class:`BinRecord`."""
+
+    def run(self, system: "MonitoringSystem", ctx: BinContext) -> None:
+        # ``unsampled`` is reported per packet of the input stream (averaged
+        # over the queries), not summed across queries.
+        if ctx.active:
+            ctx.unsampled /= len(ctx.active)
+        ctx.clock.charge_shedding(ctx.shedding_cycles)
+        total_query_cycles = float(sum(ctx.query_cycles_by_query.values()))
+        if system.mode == "predictive":
+            system.controller.record_shedding_overhead(ctx.shedding_cycles)
+            system.controller.record_prediction_error(
+                ctx.expected_after_shedding, total_query_cycles)
+        ctx.clock.record_prediction(float(sum(ctx.predictions.values())))
+
+        usage = ctx.clock.end_bin()
+        occupation = ctx.buffer.status(ctx.clock.delay).occupation
+        system.controller.end_bin(usage.total, ctx.clock.per_bin_budget,
+                                  occupation)
+        system._prev_query_cycles = total_query_cycles
+        system._prev_reactive_rate = (np.mean(list(ctx.rates.values()))
+                                      if ctx.rates else 1.0)
+        ctx.record = BinRecord(
+            index=ctx.index, start_ts=ctx.batch.start_ts,
+            incoming_packets=len(ctx.batch),
+            incoming_bytes=ctx.batch.byte_count,
+            dropped_packets=0, unsampled_packets=ctx.unsampled,
+            predicted_cycles=usage.predicted,
+            query_cycles=usage.queries,
+            prediction_overhead=usage.prediction_overhead,
+            shedding_overhead=usage.shedding_overhead,
+            system_overhead=usage.system_overhead,
+            available_cycles=ctx.clock.per_bin_budget,
+            delay=ctx.clock.delay, buffer_occupation=occupation,
+            rates=dict(ctx.rates),
+            query_cycles_by_query=ctx.query_cycles_by_query,
+        )
+
+
+#: The canonical stage order of Figure 3.2.  Stages are stateless, so the
+#: singletons can be shared by every system in the process.
+DEFAULT_STAGES = (
+    IntervalFlushStage(),
+    AdmissionStage(),
+    SystemOverheadStage(),
+    FilterStage(),
+    PredictionStage(),
+    RateDecisionStage(),
+    ExecutionStage(),
+    AccountingStage(),
+)
+
+
+class BinPipeline:
+    """Drives one time bin through an ordered tuple of stages.
+
+    The default stage tuple reproduces the historical monolithic
+    ``_process_bin`` bit for bit; custom pipelines can insert, replace or
+    drop stages (e.g. a tap stage for telemetry) as long as the stages they
+    keep see the context fields they expect.
+    """
+
+    def __init__(self, stages: Optional[Sequence] = None) -> None:
+        self.stages = tuple(stages) if stages is not None else DEFAULT_STAGES
+
+    def process(self, system: "MonitoringSystem", index: int, batch: Batch,
+                clock: "CycleClock", buffer: CaptureBuffer) -> BinRecord:
+        """Run ``batch`` through the stages and return the bin's record."""
+        ctx = BinContext(index=index, batch=batch, clock=clock, buffer=buffer)
+        for stage in self.stages:
+            stage.run(system, ctx)
+            if ctx.record is not None:
+                break
+        if ctx.record is None:  # pragma: no cover - defensive
+            raise RuntimeError("pipeline finished without producing a record")
+        return ctx.record
+
+
+__all__ = [
+    "AccountingStage",
+    "AdmissionStage",
+    "BinContext",
+    "BinPipeline",
+    "BinRecord",
+    "DEFAULT_STAGES",
+    "ExecutionStage",
+    "FilterStage",
+    "IntervalFlushStage",
+    "PredictionStage",
+    "RateDecisionStage",
+    "SystemOverheadStage",
+]

@@ -23,12 +23,40 @@ total after each batch.  The predictor never sees the individual charges.
 
 from __future__ import annotations
 
+import numbers
 from abc import ABC, abstractmethod
-from typing import Dict, Optional
+from typing import Dict, Optional, Sequence
 
 from ..core.cycles import CycleMeter, OperationCosts
 from .filters import Filter, all_packets
 from .packet import Batch
+
+
+def merge_additive(values: Sequence, context: str = "result") -> object:
+    """Fold per-shard values of one result key by addition.
+
+    Numbers sum; dicts of numbers merge key-wise (the union of keys, each
+    summed).  Anything else — rankings, verdict lists, nested structures —
+    has no universal merge and must be handled by the owning query's
+    :meth:`Query.merge_interval_results` override.
+    """
+    first = values[0]
+    if isinstance(first, dict):
+        merged: Dict = {}
+        for value in values:
+            for key, item in value.items():
+                if not isinstance(item, numbers.Number):
+                    raise TypeError(
+                        f"cannot merge {context}[{key!r}] values of type "
+                        f"{type(item).__name__}; override "
+                        "merge_interval_results")
+                merged[key] = merged.get(key, 0) + item
+        return merged
+    if isinstance(first, numbers.Number):
+        return sum(values)
+    raise TypeError(
+        f"cannot merge {context} values of type {type(first).__name__}; "
+        "override merge_interval_results")
 
 #: Sampling methods a query can request from the system load shedders.
 SAMPLING_PACKET = "packet"
@@ -100,6 +128,31 @@ class Query(ABC):
         self.meter.reset()
         self.enabled = True
         self.last_sampling_rate = 1.0
+
+    # ------------------------------------------------------------------
+    # Sharded execution support
+    # ------------------------------------------------------------------
+    @classmethod
+    def merge_interval_results(cls, results: Sequence[Dict]) -> Dict:
+        """Fold per-shard :meth:`interval_result` dicts into one global one.
+
+        When a stream is flow-hash partitioned across N shard instances of
+        the same query (:mod:`repro.monitor.sharding`), each shard produces
+        its own per-interval result; this classmethod defines how those fold
+        back into the result a single instance over the whole stream would
+        report.  The default is *additive* — plain numeric values sum, dicts
+        of numerics merge key-wise — which is exact for per-flow state
+        (flows never span shards) and for plain counters.  Queries whose
+        results are not additive (rankings, maxima, verdict sets) override
+        this.
+        """
+        results = list(results)
+        if not results:
+            return {}
+        if len(results) == 1:
+            return dict(results[0])
+        return {key: merge_additive([r[key] for r in results], context=key)
+                for key in results[0]}
 
     # ------------------------------------------------------------------
     # Custom load shedding hook (Chapter 6)

@@ -1,0 +1,501 @@
+"""Sharded execution: flow-hash partitioning across per-shard pipelines.
+
+The paper's scheme runs one predictor/shedder over one packet stream, so no
+matter how vectorised the batch path is, one core executes every query on
+every bin.  This module partitions a single logical stream across ``N``
+identical shard workers and folds their outputs back into one result:
+
+* **Partitioning** — :meth:`repro.monitor.packet.Batch.partition` splits
+  every bin's batch by the 5-tuple flow hash, so all packets of a flow land
+  on the same shard and per-flow query state never spans workers.
+* **Shard workers** — each shard is a full
+  :class:`~repro.monitor.system.MonitoringSystem` (same mode, strategy and
+  query set, built from a per-shard :class:`~repro.monitor.config.SystemConfig`
+  with ``1/N`` of the cycle capacity and a shard-derived seed) driven
+  through a streaming :class:`~repro.monitor.session.MonitoringSession`;
+  the whole predict → allocate → shed → execute pipeline of Figure 3.2 runs
+  per shard, unchanged.
+* **Capacity rebalancing** — before each bin, shards whose predicted demand
+  leaves headroom under their base capacity share lend that headroom to
+  shards predicted to overload, so a skewed bin sheds less than a static
+  ``1/N`` split would (capacity is conserved bin by bin; every shard keeps
+  a configurable floor).
+* **Result merging** — per-shard :class:`BinRecord`/``ExecutionResult``
+  objects fold into stream-global ones; per-interval query results merge
+  through :meth:`repro.monitor.query.Query.merge_interval_results`
+  (additive for flow-disjoint state, rank/union/sum merges where queries
+  override it).
+
+With ``num_shards=1`` the partition returns the original batches, shard 0
+keeps the full budget and the base seed, and every merge reduces to the
+identity — the sharded run is bit-identical to the classic single-system
+run (pinned by ``tests/test_sharding.py``).
+
+Shards can also run on a fork-based process pool
+(:func:`repro.core.pool.fork_pool_map`): the stream is pre-partitioned in
+the parent, workers inherit their slice copy-on-write, execute their shard
+end to end and ship the per-shard result back for merging.  Dynamic
+rebalancing needs a per-bin exchange between shards, so it is only
+available in-process; pooled execution uses the static ``1/N`` split.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.cycles import CycleBudget
+from ..core.pool import fork_pool_map
+from .config import SystemConfig
+from .packet import HEADER_FIELDS, Batch, PacketTrace
+from .pipeline import BinRecord
+from .query import Query, QueryResultLog
+from .system import ExecutionResult
+
+#: Header fields whose combined hash decides a packet's shard: the full
+#: 5-tuple, so a flow's packets always land on the same shard.
+FLOW_FIELDS: Tuple[str, ...] = HEADER_FIELDS
+
+
+def shard_seed(base_seed: int, shard_index: int) -> int:
+    """Deterministic per-shard seed; shard 0 keeps the base seed.
+
+    Keeping shard 0 on the base seed is what makes ``num_shards=1`` runs
+    bit-identical to unsharded ones; later shards walk the golden-ratio
+    sequence so no two shards share sampler/noise streams.
+    """
+    return int((int(base_seed) + shard_index * 0x9E3779B1) % (2 ** 31))
+
+
+# ----------------------------------------------------------------------
+# Result merging
+# ----------------------------------------------------------------------
+def merge_bin_records(records: Sequence[BinRecord]) -> BinRecord:
+    """Fold per-shard records of the same time bin into a stream-global one.
+
+    Packet and cycle quantities are additive across shards; ``delay`` and
+    ``buffer_occupation`` report the *worst* shard (the one closest to
+    uncontrolled drops); per-query rates average across the shard instances
+    of each query.
+    """
+    records = list(records)
+    if len(records) == 1:
+        return records[0]
+    first = records[0]
+    rates: Dict[str, List[float]] = {}
+    cycles_by_query: Dict[str, float] = {}
+    for record in records:
+        for name, rate in record.rates.items():
+            rates.setdefault(name, []).append(rate)
+        for name, cycles in record.query_cycles_by_query.items():
+            cycles_by_query[name] = cycles_by_query.get(name, 0.0) + cycles
+    return BinRecord(
+        index=first.index, start_ts=first.start_ts,
+        incoming_packets=int(sum(r.incoming_packets for r in records)),
+        incoming_bytes=int(sum(r.incoming_bytes for r in records)),
+        dropped_packets=int(sum(r.dropped_packets for r in records)),
+        unsampled_packets=float(sum(r.unsampled_packets for r in records)),
+        predicted_cycles=float(sum(r.predicted_cycles for r in records)),
+        query_cycles=float(sum(r.query_cycles for r in records)),
+        prediction_overhead=float(sum(r.prediction_overhead
+                                      for r in records)),
+        shedding_overhead=float(sum(r.shedding_overhead for r in records)),
+        system_overhead=float(sum(r.system_overhead for r in records)),
+        available_cycles=float(sum(r.available_cycles for r in records)),
+        delay=float(max(r.delay for r in records)),
+        buffer_occupation=float(max(r.buffer_occupation for r in records)),
+        rates={name: float(np.mean(values))
+               for name, values in rates.items()},
+        query_cycles_by_query=cycles_by_query,
+    )
+
+
+def merge_query_logs(logs: Sequence[QueryResultLog],
+                     query_cls: type) -> QueryResultLog:
+    """Merge per-shard result logs interval by interval.
+
+    All shards observe the same bin timeline (empty sub-batches included),
+    so their logs flush at identical interval boundaries; a mismatch means
+    the shards diverged and is an error, not something to paper over.
+    """
+    logs = list(logs)
+    if len(logs) == 1:
+        return logs[0]
+    first = logs[0]
+    for log in logs[1:]:
+        if log.intervals != first.intervals:
+            raise ValueError(
+                f"shard logs of query {first.name!r} have mismatching "
+                "interval boundaries; shards must see the same bin timeline")
+    merged = QueryResultLog(first.name)
+    for index, interval_start in enumerate(first.intervals):
+        merged.append(interval_start, query_cls.merge_interval_results(
+            [log.results[index] for log in logs]))
+    return merged
+
+
+def merge_execution_results(results: Sequence[ExecutionResult],
+                            query_classes: Dict[str, type],
+                            budget: CycleBudget,
+                            name: str) -> ExecutionResult:
+    """Fold per-shard executions into one stream-global execution."""
+    results = list(results)
+    first = results[0]
+    merged = ExecutionResult(first.mode, first.strategy, name, budget)
+    n_bins = len(first.bins)
+    for result in results[1:]:
+        if len(result.bins) != n_bins:
+            raise ValueError("shard executions cover different bin counts")
+    merged.bins = [
+        merge_bin_records([result.bins[index] for result in results])
+        for index in range(n_bins)
+    ]
+    merged.query_logs = {
+        qname: merge_query_logs([result.query_logs[qname]
+                                 for result in results],
+                                query_classes[qname])
+        for qname in first.query_logs
+    }
+    return merged
+
+
+# ----------------------------------------------------------------------
+# The sharded system
+# ----------------------------------------------------------------------
+class ShardedSystem:
+    """``N`` flow-affine shard systems behind one system-like facade.
+
+    Parameters
+    ----------
+    query_factory:
+        Zero-argument callable returning a fresh list of
+        :class:`~repro.monitor.query.Query` instances; called once per
+        shard so every shard owns independent query state.
+    config:
+        :class:`SystemConfig` of the *whole* system.  ``cycles_per_second``
+        is the total capacity, split evenly across shards;
+        ``num_shards`` / ``shard_rebalance`` / ``shard_rebalance_floor``
+        are read from it unless overridden by the keyword arguments below.
+    num_shards, rebalance, rebalance_floor:
+        Optional overrides of the corresponding config fields.
+    n_workers:
+        ``> 1`` executes :meth:`run` on a fork pool, one worker per shard
+        (requires ``rebalance=False``; per-bin rebalancing needs shards in
+        one process).  Streaming sessions are always in-process.
+    respect_cores:
+        Clamp the pool to the host's core count (default); pass ``False``
+        to force a real pool on small hosts (benchmarks do).
+    """
+
+    def __init__(self, query_factory: Callable[[], List[Query]],
+                 config: Optional[SystemConfig] = None,
+                 num_shards: Optional[int] = None,
+                 rebalance: Optional[bool] = None,
+                 rebalance_floor: Optional[float] = None,
+                 n_workers: int = 1,
+                 respect_cores: bool = True) -> None:
+        config = config if config is not None else SystemConfig()
+        if num_shards is not None:
+            config = config.replace(num_shards=int(num_shards))
+        if rebalance is not None:
+            config = config.replace(shard_rebalance=bool(rebalance))
+        if rebalance_floor is not None:
+            config = config.replace(
+                shard_rebalance_floor=float(rebalance_floor))
+        self.config = config
+        self.num_shards = config.num_shards
+        self.rebalance = config.shard_rebalance
+        self.rebalance_floor = config.shard_rebalance_floor
+        self.n_workers = int(n_workers)
+        self.respect_cores = bool(respect_cores)
+        if self.n_workers > 1 and self.rebalance and self.num_shards > 1:
+            raise ValueError(
+                "dynamic capacity rebalancing requires in-process shards; "
+                "pass rebalance=False (or shard_rebalance=False in the "
+                "config) to run shards on a process pool")
+        self.query_factory = query_factory
+        self.total_cycles_per_second = (
+            config.cycles_per_second if config.cycles_per_second is not None
+            else CycleBudget().cycles_per_second)
+        share = self.total_cycles_per_second / self.num_shards
+        # The fixed CoMo overhead models per-host bookkeeping: shards share
+        # one host, so each pays its 1/N slice (the per-packet overhead
+        # already scales with each shard's slice of the traffic).  Per-query
+        # prediction overhead is *not* split — every shard genuinely runs
+        # its own feature extractors and predictors, and that duplication
+        # is the honest cost of sharding the predict/shed loop.
+        self.shard_configs = [
+            config.replace(
+                num_shards=1, cycles_per_second=share,
+                system_overhead_fixed=(config.system_overhead_fixed /
+                                       self.num_shards),
+                seed=shard_seed(config.seed, index))
+            for index in range(self.num_shards)
+        ]
+        self.systems = [shard_config.build(query_factory())
+                        for shard_config in self.shard_configs]
+        self.mode = self.systems[0].mode
+        self.strategy_name = self.systems[0].strategy_name
+
+    @property
+    def query_names(self) -> List[str]:
+        return self.systems[0].query_names
+
+    @property
+    def query_classes(self) -> Dict[str, type]:
+        """Query class per name (drives per-interval result merging)."""
+        return {name: type(self.systems[0].runtime(name).query)
+                for name in self.systems[0].query_names}
+
+    # ------------------------------------------------------------------
+    def open_session(self, time_bin: float = 0.1,
+                     name: str = "live") -> "ShardedSession":
+        """Open a push-based sharded session (always in-process)."""
+        return ShardedSession(self, time_bin=time_bin, name=name)
+
+    def run(self, trace: PacketTrace, time_bin: float = 0.1
+            ) -> ExecutionResult:
+        """Run the sharded system over a trace; returns the merged result."""
+        if self.n_workers > 1 and self.num_shards > 1:
+            return self._run_pooled(trace, time_bin)
+        session = self.open_session(time_bin=time_bin, name=trace.name)
+        for batch in trace.batches(time_bin):
+            session.ingest(batch)
+        return session.close()
+
+    # ------------------------------------------------------------------
+    def _run_pooled(self, trace: PacketTrace, time_bin: float
+                    ) -> ExecutionResult:
+        """One fork-pool worker per shard over the pre-partitioned stream.
+
+        The parent partitions every batch before forking, so workers
+        inherit their slice copy-on-write; each worker drives its shard's
+        full session end to end and returns the shard's execution result.
+        Results are identical to the in-process path with rebalancing off
+        (same sub-batches, same shard systems, same merge).
+        """
+        slices: List[List[Batch]] = [[] for _ in range(self.num_shards)]
+        for batch in trace.batch_list(time_bin):
+            for index, sub in enumerate(batch.partition(self.num_shards,
+                                                        FLOW_FIELDS)):
+                slices[index].append(sub)
+        _POOL_STATE.update(
+            configs=self.shard_configs, factory=self.query_factory,
+            slices=slices, time_bin=float(time_bin), name=trace.name)
+        try:
+            results = fork_pool_map(
+                _run_shard_job, list(range(self.num_shards)), self.n_workers,
+                respect_cores=self.respect_cores, require_fork=True)
+        finally:
+            _POOL_STATE.clear()
+        budget = CycleBudget(self.total_cycles_per_second, float(time_bin))
+        return merge_execution_results(results, self.query_classes, budget,
+                                       trace.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ShardedSystem(mode={self.mode!r}, "
+                f"num_shards={self.num_shards}, "
+                f"rebalance={self.rebalance})")
+
+
+#: State a pooled shard job reads from the forked parent (populated just
+#: before the pool map, cleared right after; fork-only by construction).
+_POOL_STATE: dict = {}
+
+
+def _run_shard_job(shard_index: int) -> ExecutionResult:
+    """Run one shard end to end; pure function of the pre-fork state."""
+    config = _POOL_STATE["configs"][shard_index]
+    system = config.build(_POOL_STATE["factory"]())
+    session = system.open_session(
+        time_bin=_POOL_STATE["time_bin"],
+        name=f"{_POOL_STATE['name']}[shard{shard_index}]")
+    for sub in _POOL_STATE["slices"][shard_index]:
+        session.ingest(sub)
+    return session.close()
+
+
+# ----------------------------------------------------------------------
+# The sharded session
+# ----------------------------------------------------------------------
+class ShardedSession:
+    """Push-based execution handle over a :class:`ShardedSystem`.
+
+    Mirrors :class:`~repro.monitor.session.MonitoringSession`: feed it one
+    batch per time bin with :meth:`ingest` (the batch is flow-partitioned
+    and fanned out to the per-shard sessions), reconfigure between bins,
+    and :meth:`close` to obtain the merged
+    :class:`~repro.monitor.system.ExecutionResult`.
+    """
+
+    def __init__(self, sharded: ShardedSystem, time_bin: float = 0.1,
+                 name: str = "live") -> None:
+        self.sharded = sharded
+        self.time_bin = float(time_bin)
+        self.name = name
+        self.num_shards = sharded.num_shards
+        self.budget = CycleBudget(sharded.total_cycles_per_second,
+                                  self.time_bin)
+        suffix = (lambda i: name) if self.num_shards == 1 else \
+            (lambda i: f"{name}[shard{i}]")
+        self.sessions = [system.open_session(time_bin=time_bin,
+                                             name=suffix(index))
+                         for index, system in enumerate(sharded.systems)]
+        #: Query class per name, for every query that ever lived in this
+        #: session — departed queries keep their logs in the final result,
+        #: so their merge implementations must stay resolvable.
+        self._query_classes: Dict[str, type] = dict(sharded.query_classes)
+        #: (packets, total cycles) each shard reported for the previous bin.
+        self._prev_load: List[Optional[Tuple[int, float]]] = \
+            [None] * self.num_shards
+        self._closed_result: Optional[ExecutionResult] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed_result is not None
+
+    @property
+    def bins_ingested(self) -> int:
+        return self.sessions[0].bins_ingested
+
+    @property
+    def query_names(self) -> List[str]:
+        return self.sessions[0].query_names
+
+    # ------------------------------------------------------------------
+    def ingest(self, batch: Batch) -> BinRecord:
+        """Partition one bin's batch, drive every shard, merge the records."""
+        if self.closed:
+            raise RuntimeError("cannot ingest into a closed session")
+        parts = batch.partition(self.num_shards, FLOW_FIELDS)
+        if self.sharded.rebalance and self.num_shards > 1:
+            self._rebalance(parts)
+        records = [session.ingest(part)
+                   for session, part in zip(self.sessions, parts)]
+        for index, (part, record) in enumerate(zip(parts, records)):
+            self._prev_load[index] = (len(part), record.total_cycles)
+        return merge_bin_records(records)
+
+    def close(self) -> ExecutionResult:
+        """Close every shard session and return the merged result."""
+        if self._closed_result is not None:
+            return self._closed_result
+        results = [session.close() for session in self.sessions]
+        self._closed_result = merge_execution_results(
+            results, self._query_classes, self.budget, self.name)
+        return self._closed_result
+
+    def partial_result(self) -> ExecutionResult:
+        """Merged accuracy-so-far snapshot (shards keep running)."""
+        results = [session.partial_result() for session in self.sessions]
+        return merge_execution_results(results, self._query_classes,
+                                       self.budget, self.name)
+
+    # ------------------------------------------------------------------
+    # Live reconfiguration (forwarded to every shard, next bin boundary)
+    # ------------------------------------------------------------------
+    def add_query(self, query_factory: Callable[[], Query],
+                  start_time: Optional[float] = None) -> None:
+        """Register a query on every shard (one fresh instance each)."""
+        if self.closed:
+            raise RuntimeError("cannot reconfigure a closed session")
+        instances = [query_factory() for _ in self.sessions]
+        for session, query in zip(self.sessions, instances):
+            session.add_query(query, start_time=start_time)
+        self._query_classes[instances[0].name] = type(instances[0])
+
+    def remove_query(self, name: str) -> None:
+        """Deregister a query from every shard.
+
+        The query's class stays registered for result merging: its flushed
+        intervals remain part of the session's merged result.
+        """
+        if self.closed:
+            raise RuntimeError("cannot reconfigure a closed session")
+        for session in self.sessions:
+            session.remove_query(name)
+
+    def set_capacity(self, cycles_per_second: float) -> None:
+        """Change the *total* capacity; shards re-split it evenly.
+
+        The rebalancer keeps lending against the new base share from the
+        next bin on.
+        """
+        if self.closed:
+            raise RuntimeError("cannot reconfigure a closed session")
+        cycles_per_second = float(cycles_per_second)
+        if cycles_per_second <= 0:
+            raise ValueError("cycles_per_second must be positive")
+        self.sharded.total_cycles_per_second = cycles_per_second
+        self.budget = CycleBudget(cycles_per_second, self.time_bin)
+        share = cycles_per_second / self.num_shards
+        for session in self.sessions:
+            session.set_capacity(share)
+
+    # ------------------------------------------------------------------
+    def _rebalance(self, parts: Sequence[Batch]) -> None:
+        """Lend predicted headroom from underloaded shards to overloaded ones.
+
+        Demand per shard is predicted as the previous bin's cycles-per-packet
+        times the incoming packet count; shards with no history (or no
+        packets last bin) are assumed to need their base share.  Transfers
+        conserve total capacity and never push a shard below
+        ``rebalance_floor`` of its base share.  The adjusted capacities are
+        queued with ``set_capacity`` and applied at this bin's boundary,
+        *before* the shard's own predict/shed pipeline runs — so a shard
+        granted extra cycles sheds less in the very bin that needs them.
+        """
+        base = self.budget.per_bin / self.num_shards
+        demands = []
+        for index, part in enumerate(parts):
+            prev = self._prev_load[index]
+            if prev is None or prev[0] <= 0 or prev[1] <= 0.0:
+                demands.append(base)
+            else:
+                demands.append(prev[1] / prev[0] * len(part))
+        floor = self.rebalance_floor() * base
+        headroom = [max(0.0, base - max(demand, floor))
+                    for demand in demands]
+        need = [max(0.0, demand - base) for demand in demands]
+        lendable = float(sum(headroom))
+        needed = float(sum(need))
+        transfer = min(lendable, needed)
+        if transfer > 0.0:
+            capacities = [
+                base - lend * (transfer / lendable) +
+                borrow * (transfer / needed)
+                for lend, borrow in zip(headroom, need)
+            ]
+        else:
+            capacities = [base] * self.num_shards
+        for session, capacity in zip(self.sessions, capacities):
+            session.set_capacity(capacity / self.time_bin)
+
+    def rebalance_floor(self) -> float:
+        return self.sharded.rebalance_floor
+
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "ShardedSession":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        if exc_type is None:
+            self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self.closed else "open"
+        return (f"ShardedSession(shards={self.num_shards}, "
+                f"bins={self.bins_ingested}, {state})")
+
+
+__all__ = [
+    "FLOW_FIELDS",
+    "ShardedSession",
+    "ShardedSystem",
+    "merge_bin_records",
+    "merge_execution_results",
+    "merge_query_logs",
+    "shard_seed",
+]

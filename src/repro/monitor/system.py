@@ -25,7 +25,6 @@ Four operating modes correspond to the systems compared in the evaluation:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional
 
 import numpy as np
@@ -40,38 +39,11 @@ from ..core.shedding import LoadSheddingController, reactive_rate
 from .capture import CaptureBuffer
 from .config import MODES, MODE_ALIASES, SystemConfig
 from .packet import Batch, PacketTrace
+from .pipeline import BinPipeline, BinRecord
 from .query import (SAMPLING_CUSTOM, SAMPLING_FLOW, Query, QueryResultLog)
 
-
-@dataclass
-class BinRecord:
-    """Everything recorded about one time bin of an execution."""
-
-    index: int
-    start_ts: float
-    incoming_packets: int
-    incoming_bytes: int
-    dropped_packets: int
-    unsampled_packets: float
-    predicted_cycles: float
-    query_cycles: float
-    prediction_overhead: float
-    shedding_overhead: float
-    system_overhead: float
-    available_cycles: float
-    delay: float
-    buffer_occupation: float
-    rates: Dict[str, float] = field(default_factory=dict)
-    query_cycles_by_query: Dict[str, float] = field(default_factory=dict)
-
-    @property
-    def total_cycles(self) -> float:
-        return (self.query_cycles + self.prediction_overhead +
-                self.shedding_overhead + self.system_overhead)
-
-    @property
-    def mean_rate(self) -> float:
-        return float(np.mean(list(self.rates.values()))) if self.rates else 1.0
+__all__ = ["BinRecord", "ExecutionResult", "MonitoringSystem",
+           "MODES", "MODE_ALIASES"]
 
 
 class ExecutionResult:
@@ -221,6 +193,12 @@ class MonitoringSystem:
     def _init_from_config(self, config: SystemConfig,
                           budget: Optional[CycleBudget] = None,
                           queries: Optional[Iterable[Query]] = None) -> None:
+        if config.num_shards != 1:
+            raise ValueError(
+                f"a MonitoringSystem is a single shard; num_shards="
+                f"{config.num_shards} requires repro.monitor.sharding."
+                "ShardedSystem (runner.run_system routes there "
+                "automatically)")
         self.config = config
         self.mode = config.mode
         self.strategy_name = config.strategy \
@@ -243,6 +221,8 @@ class MonitoringSystem:
 
         self.controller = LoadSheddingController(strategy=config.strategy)
         self.enforcer = CustomShedEnforcer()
+        #: Per-bin data path; replaceable with a custom stage tuple.
+        self.pipeline = BinPipeline()
         self._runtimes: Dict[str, _QueryRuntime] = {}
         self._prev_reactive_rate = 1.0
         self._prev_query_cycles = 0.0
@@ -369,114 +349,13 @@ class MonitoringSystem:
     # ------------------------------------------------------------------
     def _process_bin(self, index: int, batch: Batch, clock: CycleClock,
                      buffer: CaptureBuffer) -> BinRecord:
-        clock.start_bin()
-        active = self._active_runtimes(batch.start_ts)
-        for runtime in active:
-            self._flush_intervals(runtime, batch.start_ts)
+        """Drive one time bin through the stage pipeline (Figure 3.2).
 
-        status = buffer.status(clock.delay)
-        if status.dropping and len(batch) > 0:
-            # Uncontrolled loss: the batch never reaches the queries and the
-            # bin's cycles go into draining the backlog.
-            buffer.record_drop(len(batch))
-            usage = clock.end_bin()
-            self.controller.end_bin(usage.total, clock.per_bin_budget,
-                                    buffer.status(clock.delay).occupation)
-            return BinRecord(
-                index=index, start_ts=batch.start_ts,
-                incoming_packets=len(batch), incoming_bytes=batch.byte_count,
-                dropped_packets=len(batch), unsampled_packets=0.0,
-                predicted_cycles=0.0, query_cycles=0.0,
-                prediction_overhead=0.0, shedding_overhead=0.0,
-                system_overhead=0.0,
-                available_cycles=clock.per_bin_budget,
-                delay=clock.delay, buffer_occupation=status.occupation,
-                rates={runtime.query.name: 0.0 for runtime in active},
-                query_cycles_by_query={},
-            )
-
-        como = (self.system_overhead_fixed +
-                self.system_overhead_per_packet * len(batch))
-        clock.charge_system(como)
-
-        filtered: Dict[str, Batch] = {}
-        features_pre: Dict[str, FeatureVector] = {}
-        predictions: Dict[str, float] = {}
-        demands: List[QueryDemand] = []
-        for runtime in active:
-            name = runtime.query.name
-            filtered[name] = self._filtered_batch(runtime.query.filter, batch)
-            if self.mode == "predictive":
-                feats = runtime.extractor.extract(filtered[name],
-                                                  update_state=False)
-                features_pre[name] = feats
-                prediction = runtime.predictor.predict(feats)
-                runtime.last_prediction = prediction
-                predictions[name] = prediction
-                clock.charge_prediction(
-                    runtime.extractor.extraction_cost(filtered[name]) +
-                    runtime.predictor.overhead_cycles)
-                demands.append(QueryDemand(
-                    name=name, predicted_cycles=prediction,
-                    min_sampling_rate=runtime.query.minimum_sampling_rate))
-
-        rates = self._decide_rates(active, demands, clock, como, batch)
-
-        query_cycles_by_query: Dict[str, float] = {}
-        shedding_cycles = 0.0
-        expected_after_shedding = 0.0
-        unsampled = 0.0
-        for runtime in active:
-            name = runtime.query.name
-            rate = rates.get(name, 1.0)
-            sub_batch = filtered[name]
-            if self._uses_custom(runtime):
-                cycles, applied = self._run_custom(runtime, sub_batch, rate,
-                                                   predictions.get(name, 0.0),
-                                                   index, features_pre.get(name))
-                rates[name] = applied
-                unsampled += (1.0 - applied) * len(sub_batch)
-            else:
-                cycles, ls_cycles = self._run_sampled(runtime, sub_batch, rate,
-                                                      features_pre.get(name))
-                shedding_cycles += ls_cycles
-                unsampled += (1.0 - rate) * len(sub_batch)
-            query_cycles_by_query[name] = cycles
-            clock.charge_query(cycles)
-            expected_after_shedding += predictions.get(name, 0.0) * rate
-
-        # ``unsampled`` is reported per packet of the input stream (averaged
-        # over the queries), not summed across queries.
-        if active:
-            unsampled /= len(active)
-        clock.charge_shedding(shedding_cycles)
-        total_query_cycles = float(sum(query_cycles_by_query.values()))
-        if self.mode == "predictive":
-            self.controller.record_shedding_overhead(shedding_cycles)
-            self.controller.record_prediction_error(expected_after_shedding,
-                                                    total_query_cycles)
-        clock.record_prediction(float(sum(predictions.values())))
-
-        usage = clock.end_bin()
-        occupation = buffer.status(clock.delay).occupation
-        self.controller.end_bin(usage.total, clock.per_bin_budget, occupation)
-        self._prev_query_cycles = total_query_cycles
-        self._prev_reactive_rate = (np.mean(list(rates.values()))
-                                    if rates else 1.0)
-        return BinRecord(
-            index=index, start_ts=batch.start_ts,
-            incoming_packets=len(batch), incoming_bytes=batch.byte_count,
-            dropped_packets=0, unsampled_packets=unsampled,
-            predicted_cycles=usage.predicted,
-            query_cycles=usage.queries,
-            prediction_overhead=usage.prediction_overhead,
-            shedding_overhead=usage.shedding_overhead,
-            system_overhead=usage.system_overhead,
-            available_cycles=clock.per_bin_budget,
-            delay=clock.delay, buffer_occupation=occupation,
-            rates=dict(rates),
-            query_cycles_by_query=query_cycles_by_query,
-        )
+        The stages live in :mod:`repro.monitor.pipeline`; this method is the
+        single entry point every execution shape (``run()``, streaming
+        sessions, shard workers) funnels through.
+        """
+        return self.pipeline.process(self, index, batch, clock, buffer)
 
     # ------------------------------------------------------------------
     @staticmethod

@@ -93,3 +93,24 @@ class AutofocusQuery(Query):
         self._volumes = {plen: defaultdict(float) for plen in PREFIX_LENGTHS}
         self._total_bytes = 0.0
         return result
+
+    @classmethod
+    def merge_interval_results(cls, results):
+        """Union the reported clusters; total volume is additive.
+
+        Per-shard delta reports cannot be re-thresholded without the full
+        prefix tables, so the merged report is the union of the clusters any
+        shard found significant — a superset of the unsharded report (a
+        cluster at 1/N of the global threshold on one shard may fall under
+        the global one).
+        """
+        results = list(results)
+        if len(results) <= 1:
+            return dict(results[0]) if results else {}
+        clusters = set()
+        for result in results:
+            clusters.update(tuple(cluster) for cluster in result["clusters"])
+        return {
+            "clusters": sorted(clusters, key=lambda c: (c[1], c[0])),
+            "total_bytes": float(sum(r["total_bytes"] for r in results)),
+        }

@@ -48,3 +48,25 @@ class HighWatermarkQuery(Query):
         self._watermark_bytes = 0.0
         self._watermark_packets = 0.0
         return result
+
+    @classmethod
+    def merge_interval_results(cls, results):
+        """Shard watermarks merge by summation, not maximum, per time bin.
+
+        Each shard's watermark is the peak of *its slice* of the stream; the
+        global peak bin is the one where the summed slices peak.  Because
+        all shards observe the same bin timeline, summing per-shard maxima
+        over-estimates only when shards peak in different bins — taking the
+        per-shard maximum would instead systematically under-estimate by
+        roughly a factor of N.  The sum is the standard mergeable upper
+        bound and is exact whenever the traffic peak is stream-wide.
+        """
+        results = list(results)
+        if len(results) <= 1:
+            return dict(results[0]) if results else {}
+        return {
+            "watermark_bytes": float(sum(r["watermark_bytes"]
+                                         for r in results)),
+            "watermark_packets": float(sum(r["watermark_packets"]
+                                           for r in results)),
+        }

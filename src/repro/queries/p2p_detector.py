@@ -20,7 +20,7 @@ the enforcement policy.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Set, Tuple
+from typing import Dict, Set, Tuple
 
 import numpy as np
 
@@ -159,6 +159,29 @@ class P2PDetectorQuery(Query):
         self._signature_hits = {}
         self._p2p_flows = set()
         return result
+
+    @classmethod
+    def merge_interval_results(cls, results):
+        """Union the per-shard P2P verdicts; counts are additive.
+
+        Flow affinity makes the merge exact for the verdict set: a flow's
+        packets (and therefore its handshake) are confined to one shard, so
+        the union of the per-shard ``p2p_flows`` lists is precisely the set
+        a single detector over the whole stream would flag, and the flow
+        counts sum without double counting.
+        """
+        results = list(results)
+        if len(results) <= 1:
+            return dict(results[0]) if results else {}
+        verdicts = set()
+        for result in results:
+            verdicts.update(result["p2p_flows"])
+        return {
+            "p2p_flows": sorted(verdicts),
+            "flows_seen": float(sum(r["flows_seen"] for r in results)),
+            "p2p_flow_count": float(sum(r["p2p_flow_count"]
+                                        for r in results)),
+        }
 
 
 class SelfishP2PDetectorQuery(P2PDetectorQuery):

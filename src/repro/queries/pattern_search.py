@@ -8,7 +8,7 @@ is defined as the fraction of packets processed.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from ..monitor.packet import Batch
 from ..monitor.query import SAMPLING_PACKET, Query

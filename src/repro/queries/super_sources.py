@@ -69,3 +69,29 @@ class SuperSourcesQuery(Query):
         }
         self._destinations = defaultdict(set)
         return result
+
+    @classmethod
+    def merge_interval_results(cls, results):
+        """Sum per-shard fan-out estimates and re-take the top sources.
+
+        A source's (src, dst) pairs spread across shards (the partition key
+        is the full 5-tuple), so its global fan-out is the sum of the
+        per-shard distinct-destination counts — an upper bound when the same
+        destination is reached over several ports on different shards, which
+        is rare for scan-style super-spreaders.  ``sources`` sums the same
+        way (a source active on two shards counts twice; scan sources
+        concentrate their pairs, so the bias is small).
+        """
+        results = list(results)
+        if len(results) <= 1:
+            return dict(results[0]) if results else {}
+        fanout = {}
+        for result in results:
+            for src, count in result["fanout"].items():
+                fanout[src] = fanout.get(src, 0.0) + count
+        top_n = max(len(result["fanout"]) for result in results)
+        top = sorted(fanout.items(), key=lambda item: (-item[1], item[0]))
+        return {
+            "fanout": dict(top[:top_n]),
+            "sources": float(sum(r["sources"] for r in results)),
+        }

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.monitor.packet import Batch, PacketTrace
+from repro.monitor.packet import Batch
 from repro.traffic import TrafficProfile, generate_trace
 
 

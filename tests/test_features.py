@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core.features import (FEATURE_NAMES, NUM_FEATURES, FeatureExtractor,
+from repro.core.features import (NUM_FEATURES, FeatureExtractor,
                                  FeatureVector, feature_names, select_values)
 from repro.monitor.packet import Batch
 from tests.conftest import make_batch

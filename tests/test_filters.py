@@ -4,7 +4,6 @@ import numpy as np
 
 from repro.monitor import filters
 from repro.monitor.packet import PROTO_TCP, PROTO_UDP, ip
-from tests.conftest import make_batch
 
 
 class TestBasicFilters:

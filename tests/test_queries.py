@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.core.sampling import PacketSampler
 from repro.monitor import metrics
 from repro.monitor.packet import Batch
 from repro.monitor.query import SAMPLING_CUSTOM, SAMPLING_FLOW

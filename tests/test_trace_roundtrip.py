@@ -1,0 +1,100 @@
+"""Round-trip property tests for trace persistence.
+
+``save_trace``/``load_trace`` store a trace as an ``.npz`` archive; payloads
+are flattened into one blob plus a lengths array and must be reconstructed
+byte for byte — including empty payloads, whose zero lengths are what keeps
+the blob offsets aligned.  Hypothesis drives the shapes (packet counts,
+payload lengths including zero, presence/absence of payloads) through the
+full save → load cycle.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.monitor.packet import Batch, PacketTrace
+from repro.traffic.trace_io import load_trace, save_trace
+
+COLUMNS = ("ts", "src_ip", "dst_ip", "src_port", "dst_port", "proto", "size")
+
+
+def _build_trace(seed: int, n: int, payload_lengths, name: str) -> PacketTrace:
+    """Deterministic trace with the given payload length layout."""
+    rng = np.random.default_rng(seed)
+    batch = Batch(
+        ts=np.sort(rng.uniform(0.0, 2.0, size=n)),
+        src_ip=rng.integers(0, 2 ** 32, size=n, dtype=np.uint32),
+        dst_ip=rng.integers(0, 2 ** 32, size=n, dtype=np.uint32),
+        src_port=rng.integers(0, 2 ** 16, size=n, dtype=np.uint16),
+        dst_port=rng.integers(0, 2 ** 16, size=n, dtype=np.uint16),
+        proto=rng.choice(np.array([1, 6, 17], dtype=np.uint8), size=n),
+        size=rng.integers(40, 1500, size=n, dtype=np.uint32),
+        payloads=None if payload_lengths is None else [
+            bytes(rng.integers(0, 256, size=length, dtype=np.uint8))
+            for length in payload_lengths
+        ],
+    )
+    return PacketTrace(batch, name=name)
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(
+    seed=st.integers(0, 2 ** 20),
+    payload_lengths=st.lists(st.integers(0, 64), min_size=1, max_size=40),
+    name=st.text(
+        alphabet=st.characters(min_codepoint=32, max_codepoint=126),
+        min_size=0, max_size=24),
+)
+def test_payload_trace_roundtrip(tmp_path, seed, payload_lengths, name):
+    trace = _build_trace(seed, len(payload_lengths), payload_lengths, name)
+    path = save_trace(trace, tmp_path / "trace.npz")
+    loaded = load_trace(path)
+
+    assert loaded.name == name
+    assert len(loaded) == len(trace)
+    for column in COLUMNS:
+        original = getattr(trace.packets, column)
+        restored = getattr(loaded.packets, column)
+        assert restored.dtype == original.dtype, column
+        assert np.array_equal(restored, original), column
+    # Payload reconstruction: blob + lengths must restore each packet's
+    # payload exactly, empty payloads included.
+    assert loaded.packets.payloads is not None
+    assert loaded.packets.payloads == trace.packets.payloads
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.function_scoped_fixture])
+@given(seed=st.integers(0, 2 ** 20), n=st.integers(1, 40))
+def test_header_only_trace_roundtrip(tmp_path, seed, n):
+    trace = _build_trace(seed, n, None, "header-only")
+    loaded = load_trace(save_trace(trace, tmp_path / "h.npz"))
+    assert loaded.packets.payloads is None
+    for column in COLUMNS:
+        assert np.array_equal(getattr(loaded.packets, column),
+                              getattr(trace.packets, column)), column
+
+
+def test_all_empty_payloads_stay_payload_bearing(tmp_path):
+    """A trace whose payloads are all b'' must not degrade to header-only."""
+    trace = _build_trace(3, 5, [0, 0, 0, 0, 0], "empties")
+    loaded = load_trace(save_trace(trace, tmp_path / "e.npz"))
+    assert loaded.packets.payloads == [b""] * 5
+
+
+def test_save_trace_appends_npz_suffix(tmp_path):
+    trace = _build_trace(4, 3, [4, 0, 2], "suffix")
+    returned = save_trace(trace, tmp_path / "noext")
+    assert returned.suffix == ".npz"
+    assert returned.exists()
+    loaded = load_trace(returned)
+    assert loaded.packets.payloads == trace.packets.payloads
+
+
+def test_roundtrip_is_executable(tmp_path, payload_trace_small):
+    """A generated payload trace survives the round trip and still runs."""
+    loaded = load_trace(save_trace(payload_trace_small, tmp_path / "t.npz"))
+    assert loaded.packets.payloads == payload_trace_small.packets.payloads
+    assert loaded.duration == pytest.approx(payload_trace_small.duration)
