@@ -20,7 +20,7 @@ so only the shared-work amortisation floor of 1.3x is required there.
 import os
 import time
 
-from conftest import BENCH_SCALE
+from conftest import BENCH_SCALE, record_result
 
 from repro.experiments import parallel, runner, scenarios
 
@@ -80,6 +80,9 @@ def test_parallel_engine_speedup(benchmark):
     print(f"naive serial: {naive_seconds:.2f}s | engine (4 workers): "
           f"{engine_seconds:.2f}s | speedup: {speedup:.2f}x "
           f"(required {MIN_SPEEDUP:.2f}x on {os.cpu_count()} cpu(s))")
+    record_result("parallel_engine_12_cells", engine_seconds,
+                  speedup=speedup, baseline_seconds=naive_seconds,
+                  required_speedup=MIN_SPEEDUP)
     assert len(result) == 12
     assert len(naive_rows) == 12
     # The engine must agree with the naive path cell by cell: same trace

@@ -21,7 +21,7 @@ pins that the pooled path works and merges a faithful result).
 import os
 import time
 
-from conftest import BENCH_SCALE
+from conftest import BENCH_SCALE, record_result
 
 from repro.experiments import runner
 from repro.monitor.sharding import ShardedSystem
@@ -94,6 +94,10 @@ def test_sharded_single_stream_throughput(benchmark):
           f"({NUM_SHARDS} workers): {sharded_seconds:.2f}s | speedup "
           f"{speedup:.2f}x | {throughput:,.0f} pkt/s "
           f"(required {MIN_SPEEDUP:.2f}x on {CORES} cpu(s))")
+    record_result("sharded_single_stream", sharded_seconds,
+                  speedup=speedup, baseline_seconds=baseline_seconds,
+                  packets_per_second=throughput,
+                  required_speedup=MIN_SPEEDUP)
 
     # The merged execution must still be a faithful view of the stream.
     assert sharded.total_packets == baseline.total_packets

@@ -1,0 +1,105 @@
+"""Benchmark: out-of-core trace-store replay versus the in-memory path.
+
+A v2 trace store is synthesised chunk-at-a-time (``generate_trace_store``),
+then replayed through the full predict/shed pipeline twice: once fully
+materialised in memory (the pre-store idiom) and once streamed through
+``ingest_trace`` with a chunk cache at least 4x smaller than the store —
+the out-of-core regime the store exists for.  A third replay drives the
+``num_shards=4`` in-process sharded pipeline from the same stream.
+
+The acceptance bar is *correctness at bounded memory*, not speed: both
+streamed replays must be bit-identical to the in-memory execution while
+the LRU never holds more than its K chunks.  The streaming overhead factor
+(streamed wall time over in-memory wall time) is recorded into
+``BENCH_report.json`` so regressions in the chunk path show up per commit;
+a loose sanity ceiling guards against pathological slowdowns.
+"""
+
+import time
+
+from conftest import BENCH_SCALE, record_result
+
+
+from repro.experiments import runner
+from repro.testing import assert_results_identical
+from repro.traffic.generator import TrafficProfile, generate_trace_store
+
+QUERY_SET = ("counter", "flows", "top-k")
+MAX_RESIDENT_CHUNKS = 4
+#: The store must dwarf the chunk-cache budget by at least this factor.
+MIN_CHUNK_FACTOR = 4
+#: Streaming must not cost more than this factor over the in-memory path
+#: (it re-slices bins from mmap instead of reusing memoised batches, so
+#: some overhead is expected; 4x would mean the chunk path regressed).
+MAX_OVERHEAD = 4.0
+
+
+def _build_store(tmp_path):
+    profile = TrafficProfile(
+        duration=max(4.0, 10.0 * BENCH_SCALE),
+        flow_arrival_rate=2000.0,
+        name="streaming-bench",
+    )
+    return generate_trace_store(tmp_path / "store", profile, seed=21,
+                                segment_duration=2.0)
+
+
+def _timed(fn, *args):
+    start = time.perf_counter()
+    value = fn(*args)
+    return value, time.perf_counter() - start
+
+
+def test_streaming_replay_bit_identical_and_bounded(benchmark, tmp_path):
+    store = _build_store(tmp_path)
+    trace = store.to_trace()
+    chunk_packets = max(1, store.num_packets //
+                        (MIN_CHUNK_FACTOR * MAX_RESIDENT_CHUNKS))
+
+    capacity, _ = runner.calibrate_capacity(QUERY_SET, trace)
+    config = runner.system_config(cycles_per_second=capacity * 0.5, seed=13)
+
+    def _in_memory():
+        return runner.run_system(QUERY_SET, trace, capacity * 0.5,
+                                 config=config)
+
+    def _streamed(num_shards=1):
+        streaming = store.streaming(chunk_packets=chunk_packets,
+                                    max_resident_chunks=MAX_RESIDENT_CHUNKS)
+        result = runner.run_system(QUERY_SET, streaming, capacity * 0.5,
+                                   config=config, num_shards=num_shards)
+        return result, streaming
+
+    memory_result, memory_seconds = _timed(_in_memory)
+    ((streamed_result, streaming), streamed_seconds), _ = benchmark.pedantic(
+        lambda: (_timed(_streamed), None),
+        rounds=1, iterations=1, warmup_rounds=0)
+
+    # The out-of-core regime: the store holds at least 4x more chunks than
+    # the cache may keep resident, and the LRU must respect its budget.
+    assert streaming.num_chunks >= MIN_CHUNK_FACTOR * MAX_RESIDENT_CHUNKS
+    assert streaming.max_resident <= MAX_RESIDENT_CHUNKS
+    assert_results_identical(memory_result, streamed_result, "serial")
+
+    (sharded_result, sharded_streaming), sharded_seconds = \
+        _timed(_streamed, 4)
+    sharded_memory = runner.run_system(QUERY_SET, trace, capacity * 0.5,
+                                       config=config, num_shards=4)
+    assert sharded_streaming.max_resident <= MAX_RESIDENT_CHUNKS
+    assert_results_identical(sharded_memory, sharded_result, "sharded")
+
+    overhead = streamed_seconds / memory_seconds
+    print()
+    print(f"in-memory: {memory_seconds:.2f}s | streamed "
+          f"({streaming.num_chunks} chunks, <= {MAX_RESIDENT_CHUNKS} "
+          f"resident): {streamed_seconds:.2f}s | overhead {overhead:.2f}x | "
+          f"sharded x4 streamed: {sharded_seconds:.2f}s | "
+          f"{store.num_packets:,} packets")
+    record_result("streaming_replay", streamed_seconds,
+                  speedup=memory_seconds / streamed_seconds,
+                  in_memory_seconds=memory_seconds,
+                  sharded_seconds=sharded_seconds,
+                  packets=store.num_packets,
+                  num_chunks=streaming.num_chunks,
+                  max_resident_chunks=MAX_RESIDENT_CHUNKS)
+    assert overhead <= MAX_OVERHEAD

@@ -35,11 +35,12 @@ from .core.cycles import CycleBudget
 from .monitor import (Batch, ExecutionResult, MonitoringSession,
                       MonitoringSystem, PacketTrace, Query,
                       ReproDeprecationWarning, ShardedSession, ShardedSystem,
-                      SystemConfig)
+                      StreamingTrace, SystemConfig)
 from .queries import make_query, standard_queries
-from .traffic import generate_trace, load_preset
+from .traffic import (TraceStore, TraceWriter, generate_trace,
+                      generate_trace_store, load_preset, open_trace)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Batch",
@@ -57,10 +58,15 @@ __all__ = [
     "SLRPredictor",
     "ShardedSession",
     "ShardedSystem",
+    "StreamingTrace",
     "SystemConfig",
+    "TraceStore",
+    "TraceWriter",
     "__version__",
     "generate_trace",
+    "generate_trace_store",
     "load_preset",
     "make_query",
+    "open_trace",
     "standard_queries",
 ]

@@ -28,7 +28,7 @@ from ..core.prediction import CyclePredictor, PredictionErrorTracker
 from ..core.sampling import FlowSampler, PacketSampler
 from ..monitor import metrics
 from ..monitor.config import ReproDeprecationWarning, SystemConfig
-from ..monitor.packet import PacketTrace
+from ..monitor.packet import PacketTrace, as_trace
 from ..monitor.query import SAMPLING_FLOW, Query
 from ..monitor.sharding import ShardedSystem
 from ..monitor.system import ExecutionResult, MonitoringSystem
@@ -199,7 +199,7 @@ def calibrate_capacity(query_names: Sequence[str], trace: PacketTrace,
     """
     queries = _make_queries(query_names, query_kwargs)
     system = reference_system(queries)
-    reference = system.run(trace, time_bin=time_bin)
+    reference = system.run(as_trace(trace), time_bin=time_bin)
     per_bin = reference.cycles_per_bin()
     if len(per_bin) == 0:
         raise ValueError("trace produced no batches")
@@ -236,6 +236,11 @@ def run_system(query_names: Sequence[str], trace: PacketTrace,
                **system_kwargs) -> ExecutionResult:
     """Run a freshly-built system over a trace with an explicit capacity.
 
+    ``trace`` may be an in-memory :class:`PacketTrace`, a
+    :class:`~repro.monitor.packet.StreamingTrace`, or a trace store
+    (:class:`repro.traffic.trace_io.TraceStore`); stores replay
+    out-of-core, so traces far larger than RAM run with bounded memory.
+
     The system is described by ``config`` (a :class:`repro.SystemConfig`;
     defaults to :func:`system_config`, i.e. a predictive system with the
     harness's exact feature counting).  ``mode``/``strategy``/``predictor``
@@ -255,6 +260,7 @@ def run_system(query_names: Sequence[str], trace: PacketTrace,
     if num_shards is not None:
         config = config.replace(num_shards=int(num_shards))
     config = config.replace(cycles_per_second=float(cycles_per_second))
+    trace = as_trace(trace)
     if config.num_shards > 1:
         sharded = ShardedSystem(
             lambda: _make_queries(query_names, query_kwargs), config=config)
@@ -262,6 +268,24 @@ def run_system(query_names: Sequence[str], trace: PacketTrace,
     queries = _make_queries(query_names, query_kwargs)
     system = MonitoringSystem.from_config(config, queries)
     return system.run(trace, time_bin=time_bin)
+
+
+def ingest_trace(session, trace_or_store, close: bool = True):
+    """Drive an open session with every bin of a trace or trace store.
+
+    The out-of-core execution driver: ``session`` is any open streaming
+    session (:class:`~repro.monitor.session.MonitoringSession` or
+    :class:`~repro.monitor.sharding.ShardedSession`) and
+    ``trace_or_store`` anything :func:`repro.monitor.packet.as_trace`
+    accepts.  A v2 trace store streams through the full predict/shed
+    pipeline chunk by chunk, so peak memory stays bounded by the chunk
+    cache no matter the trace size.  Returns the final
+    :class:`~repro.monitor.system.ExecutionResult`; pass ``close=False``
+    to keep the session open (live reconfiguration, more traffic) and get
+    the session back instead.
+    """
+    session.ingest_trace(trace_or_store)
+    return session.close() if close else session
 
 
 def run_with_overload(query_names: Sequence[str], trace: PacketTrace,

@@ -5,7 +5,7 @@ from .capture import BufferStatus, CaptureBuffer
 from .config import (MODES, MODE_ALIASES, ReproDeprecationWarning,
                      SystemConfig)
 from .packet import (PROTO_ICMP, PROTO_TCP, PROTO_UDP, Batch, Packet,
-                     PacketTrace, format_ip, ip)
+                     PacketTrace, StreamingTrace, as_trace, format_ip, ip)
 from .query import (SAMPLING_CUSTOM, SAMPLING_FLOW, SAMPLING_PACKET, Query,
                     QueryResultLog)
 from .pipeline import BinPipeline
@@ -38,6 +38,8 @@ __all__ = [
     "SAMPLING_CUSTOM",
     "SAMPLING_FLOW",
     "SAMPLING_PACKET",
+    "StreamingTrace",
+    "as_trace",
     "filters",
     "format_ip",
     "ip",

@@ -21,6 +21,7 @@ Column layout
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence
 
@@ -35,6 +36,10 @@ PROTO_ICMP = 1
 
 #: Names of the integer header columns stored in a batch, in canonical order.
 HEADER_FIELDS = ("src_ip", "dst_ip", "src_port", "dst_port", "proto")
+
+#: All per-packet columns of a batch, in canonical order (the column set a
+#: trace store persists).
+COLUMN_FIELDS = ("ts",) + HEADER_FIELDS + ("size",)
 
 
 @dataclass(frozen=True)
@@ -443,6 +448,255 @@ class PacketTrace:
         if len(self.packets) == 0:
             return 0
         return int(np.floor(self.duration / time_bin)) + 1
+
+
+class _TraceChunk:
+    """One resident chunk of a streaming trace: column views + payloads."""
+
+    __slots__ = ("index", "lo", "hi", "columns", "payloads")
+
+    def __init__(self, index: int, lo: int, hi: int,
+                 columns: Dict[str, np.ndarray],
+                 payloads: Optional[List[bytes]]) -> None:
+        self.index = index
+        self.lo = lo
+        self.hi = hi
+        self.columns = columns
+        self.payloads = payloads
+
+
+class StreamingTrace:
+    """An out-of-core trace: per-bin batches sliced from a backing store.
+
+    Exposes the same consumption protocol as :class:`PacketTrace`
+    (``batches()`` / ``batch_list()`` / ``num_batches()`` / ``name`` /
+    ``duration``) but never holds the full column arrays: batches are built
+    from fixed-size *chunks* of ``chunk_packets`` rows, each a zero-copy
+    view into the store's memory-mapped columns, with at most
+    ``max_resident_chunks`` chunks kept alive in an LRU cache.  A bin whose
+    rows fall inside one chunk is itself a zero-copy view; a bin straddling
+    a chunk boundary copies just its own rows.  Peak memory is therefore
+    bounded by ``K`` chunks (plus one bin), no matter how large the store.
+
+    ``store`` is any object implementing the store protocol of
+    :class:`repro.traffic.trace_io.TraceStore`: attributes ``name``,
+    ``num_packets`` and ``has_payloads``, a ``column(name)`` method
+    returning the full (memory-mapped) column, ``payloads_slice(lo, hi)``
+    materialising a payload range, and ``bin_bounds(time_bin)`` returning
+    pre-indexed bin-edge offsets or ``None``.
+
+    Replaying a store through this class is bit-identical to loading the
+    same packets in memory and running ``PacketTrace`` — the bin edges, the
+    column dtypes and the slicing arithmetic are the same
+    (``tests/test_trace_store.py`` pins it across all four operating
+    modes).
+    """
+
+    def __init__(self, store, chunk_packets: int = 65536,
+                 max_resident_chunks: int = 8) -> None:
+        self.store = store
+        self.name = store.name
+        self.chunk_packets = int(chunk_packets)
+        self.max_resident_chunks = int(max_resident_chunks)
+        if self.chunk_packets < 1:
+            raise ValueError("chunk_packets must be >= 1")
+        if self.max_resident_chunks < 1:
+            raise ValueError("max_resident_chunks must be >= 1")
+        self._chunks: "OrderedDict[int, _TraceChunk]" = OrderedDict()
+        self._layouts: Dict[float, tuple] = {}
+        #: Chunk-cache telemetry (the bounded-residency tests read these).
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.max_resident = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return int(self.store.num_packets)
+
+    @property
+    def num_chunks(self) -> int:
+        return -(-len(self) // self.chunk_packets) if len(self) else 0
+
+    @property
+    def resident_chunks(self) -> int:
+        return len(self._chunks)
+
+    @property
+    def duration(self) -> float:
+        """Trace duration in seconds (last timestamp minus first)."""
+        if len(self) == 0:
+            return 0.0
+        ts = self.store.column("ts")
+        return float(ts[-1] - ts[0])
+
+    # ------------------------------------------------------------------
+    # Chunk cache
+    # ------------------------------------------------------------------
+    def _chunk(self, index: int) -> _TraceChunk:
+        chunk = self._chunks.get(index)
+        if chunk is not None:
+            self.cache_hits += 1
+            self._chunks.move_to_end(index)
+            return chunk
+        self.cache_misses += 1
+        lo = index * self.chunk_packets
+        hi = min(lo + self.chunk_packets, len(self))
+        columns = {name: np.asarray(self.store.column(name)[lo:hi])
+                   for name in COLUMN_FIELDS}
+        payloads = self.store.payloads_slice(lo, hi) \
+            if self.store.has_payloads else None
+        chunk = _TraceChunk(index, lo, hi, columns, payloads)
+        self._chunks[index] = chunk
+        while len(self._chunks) > self.max_resident_chunks:
+            self._chunks.popitem(last=False)
+        self.max_resident = max(self.max_resident, len(self._chunks))
+        return chunk
+
+    def _rows(self, lo: int, hi: int) -> tuple:
+        """Columns (and payloads) of packet rows ``[lo, hi)`` via chunks."""
+        first = lo // self.chunk_packets
+        last = (hi - 1) // self.chunk_packets
+        if first == last:
+            chunk = self._chunk(first)
+            start, stop = lo - chunk.lo, hi - chunk.lo
+            columns = {name: column[start:stop]
+                       for name, column in chunk.columns.items()}
+            payloads = chunk.payloads[start:stop] \
+                if chunk.payloads is not None else None
+            return columns, payloads
+        pieces = []
+        for index in range(first, last + 1):
+            chunk = self._chunk(index)
+            start = max(lo, chunk.lo) - chunk.lo
+            stop = min(hi, chunk.hi) - chunk.lo
+            pieces.append((chunk, start, stop))
+        columns = {
+            name: np.concatenate([chunk.columns[name][start:stop]
+                                  for chunk, start, stop in pieces])
+            for name in COLUMN_FIELDS
+        }
+        payloads = None
+        if self.store.has_payloads:
+            payloads = []
+            for chunk, start, stop in pieces:
+                payloads.extend(chunk.payloads[start:stop])
+        return columns, payloads
+
+    # ------------------------------------------------------------------
+    # Bin layout
+    # ------------------------------------------------------------------
+    def _bin_layout(self, time_bin: float) -> tuple:
+        """``(edges, bounds)`` for the store's bins at ``time_bin``.
+
+        The arithmetic replicates :meth:`PacketTrace.batch_list` exactly
+        (``start + time_bin * arange`` in float64, ``searchsorted`` on the
+        timestamps) so the streaming bins are bit-identical to in-memory
+        slicing.  The store's persisted bin index is used when it matches
+        ``time_bin``; otherwise the edges are searched on the memory-mapped
+        column, which touches O(n_bins · log n) pages, not the whole trace.
+        """
+        time_bin = float(time_bin)
+        layout = self._layouts.get(time_bin)
+        if layout is not None:
+            return layout
+        ts = self.store.column("ts")
+        start = float(ts[0])
+        end = float(ts[-1])
+        n_bins = int(np.floor((end - start) / time_bin)) + 1
+        edges = start + time_bin * np.arange(n_bins + 1)
+        bounds = self.store.bin_bounds(time_bin)
+        if bounds is None or len(bounds) != n_bins + 1:
+            bounds = np.searchsorted(ts, edges)
+        layout = (edges, np.asarray(bounds, dtype=np.int64))
+        self._layouts[time_bin] = layout
+        return layout
+
+    def _batch_at(self, edges: np.ndarray, bounds: np.ndarray,
+                  index: int, time_bin: float) -> Batch:
+        lo, hi = int(bounds[index]), int(bounds[index + 1])
+        start_ts = float(edges[index])
+        if hi <= lo:
+            return Batch.empty(time_bin=time_bin, start_ts=start_ts,
+                               with_payloads=self.store.has_payloads)
+        columns, payloads = self._rows(lo, hi)
+        return Batch(payloads=payloads, time_bin=time_bin,
+                     start_ts=start_ts, **columns)
+
+    # ------------------------------------------------------------------
+    # The PacketTrace consumption protocol
+    # ------------------------------------------------------------------
+    def num_batches(self, time_bin: float = 0.1) -> int:
+        """Number of batches :meth:`batches` will yield."""
+        if len(self) == 0:
+            return 0
+        return int(np.floor(self.duration / time_bin)) + 1
+
+    def batch_list(self, time_bin: float = 0.1) -> "Sequence[Batch]":
+        """The trace's bins as a lazy sequence.
+
+        Unlike :meth:`PacketTrace.batch_list` the returned sequence holds
+        no batches: each index access builds its batch from the chunk
+        cache, so iterating it streams the store instead of materialising
+        it.  Repeated accesses rebuild equal batches (no memoisation — a
+        memo would defeat the bounded-memory point).
+        """
+        return _StreamingBatchList(self, float(time_bin))
+
+    def batches(self, time_bin: float = 0.1) -> Iterator[Batch]:
+        """Yield consecutive ``time_bin`` batches, empty bins included."""
+        return iter(self.batch_list(time_bin))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"StreamingTrace(name={self.name!r}, packets={len(self)}, "
+                f"chunk_packets={self.chunk_packets}, "
+                f"resident={self.resident_chunks}/"
+                f"{self.max_resident_chunks})")
+
+
+class _StreamingBatchList(Sequence):
+    """Lazy bin sequence of a :class:`StreamingTrace` (no batch storage)."""
+
+    def __init__(self, trace: StreamingTrace, time_bin: float) -> None:
+        self.trace = trace
+        self.time_bin = time_bin
+        if len(trace) == 0:
+            self._edges = None
+            self._bounds = None
+            self._n_bins = 0
+        else:
+            self._edges, self._bounds = trace._bin_layout(time_bin)
+            self._n_bins = len(self._edges) - 1
+
+    def __len__(self) -> int:
+        return self._n_bins
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(self._n_bins))]
+        index = int(index)
+        if index < 0:
+            index += self._n_bins
+        if not 0 <= index < self._n_bins:
+            raise IndexError("bin index out of range")
+        return self.trace._batch_at(self._edges, self._bounds, index,
+                                    self.time_bin)
+
+
+def as_trace(source):
+    """Coerce a trace-like source to one exposing the batch protocol.
+
+    Accepts a :class:`PacketTrace`, a :class:`StreamingTrace` (returned
+    unchanged) or a trace store (anything with a ``streaming()`` factory,
+    e.g. :class:`repro.traffic.trace_io.TraceStore`), which is wrapped in
+    its default streaming view.
+    """
+    if hasattr(source, "batches"):
+        return source
+    if hasattr(source, "streaming"):
+        return source.streaming()
+    raise TypeError(
+        f"expected a PacketTrace, StreamingTrace or trace store, got "
+        f"{type(source).__name__}")
 
 
 def ip(a: int, b: int, c: int, d: int) -> int:

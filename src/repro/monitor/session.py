@@ -39,7 +39,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.cycles import CycleBudget, CycleClock
 from .capture import CaptureBuffer
-from .packet import Batch
+from .packet import Batch, as_trace
 from .query import Query, QueryResultLog
 from .system import BinRecord, ExecutionResult, MonitoringSystem
 
@@ -142,6 +142,22 @@ class MonitoringSession:
         self._last_start_ts = float(batch.start_ts)
         self._bins.append(record)
         return record
+
+    def ingest_trace(self, source) -> "MonitoringSession":
+        """Stream every bin of ``source`` through :meth:`ingest`.
+
+        ``source`` is anything :func:`repro.monitor.packet.as_trace`
+        accepts: an in-memory :class:`~repro.monitor.packet.PacketTrace`, a
+        :class:`~repro.monitor.packet.StreamingTrace`, or a trace store —
+        the out-of-core path: a store far larger than RAM flows through the
+        full predict/shed pipeline one chunk-cache-bounded bin at a time.
+        The session stays open (reconfigure, ingest more, or
+        :meth:`close`); returns ``self`` so ``ingest_trace(store).close()``
+        reads naturally.
+        """
+        for batch in as_trace(source).batches(self.time_bin):
+            self.ingest(batch)
+        return self
 
     def close(self) -> ExecutionResult:
         """Flush the last (possibly partial) measurement intervals and

@@ -48,7 +48,7 @@ import numpy as np
 from ..core.cycles import CycleBudget
 from ..core.pool import fork_pool_map
 from .config import SystemConfig
-from .packet import HEADER_FIELDS, Batch, PacketTrace
+from .packet import HEADER_FIELDS, Batch, PacketTrace, as_trace
 from .pipeline import BinRecord
 from .query import Query, QueryResultLog
 from .system import ExecutionResult
@@ -256,13 +256,19 @@ class ShardedSystem:
 
     def run(self, trace: PacketTrace, time_bin: float = 0.1
             ) -> ExecutionResult:
-        """Run the sharded system over a trace; returns the merged result."""
+        """Run the sharded system over a trace; returns the merged result.
+
+        ``trace`` may also be a streaming trace or a trace store (anything
+        :func:`repro.monitor.packet.as_trace` accepts).  The in-process
+        path streams it bin by bin with bounded memory; the pooled path
+        (``n_workers > 1``) pre-partitions the whole stream in the parent,
+        so it materialises every sub-batch regardless of the source.
+        """
+        trace = as_trace(trace)
         if self.n_workers > 1 and self.num_shards > 1:
             return self._run_pooled(trace, time_bin)
         session = self.open_session(time_bin=time_bin, name=trace.name)
-        for batch in trace.batches(time_bin):
-            session.ingest(batch)
-        return session.close()
+        return session.ingest_trace(trace).close()
 
     # ------------------------------------------------------------------
     def _run_pooled(self, trace: PacketTrace, time_bin: float
@@ -377,6 +383,18 @@ class ShardedSession:
         for index, (part, record) in enumerate(zip(parts, records)):
             self._prev_load[index] = (len(part), record.total_cycles)
         return merge_bin_records(records)
+
+    def ingest_trace(self, source) -> "ShardedSession":
+        """Stream every bin of ``source`` through :meth:`ingest`.
+
+        Accepts anything :func:`repro.monitor.packet.as_trace` does; a
+        trace store replays out-of-core — each bin is flow-partitioned and
+        fanned out to the shards, with peak memory bounded by the streaming
+        trace's chunk cache.  Returns ``self`` for chaining.
+        """
+        for batch in as_trace(source).batches(self.time_bin):
+            self.ingest(batch)
+        return self
 
     def close(self) -> ExecutionResult:
         """Close every shard session and return the merged result."""

@@ -38,7 +38,7 @@ from ..core.sampling import FlowSampler, PacketSampler
 from ..core.shedding import LoadSheddingController, reactive_rate
 from .capture import CaptureBuffer
 from .config import MODES, MODE_ALIASES, SystemConfig
-from .packet import Batch, PacketTrace
+from .packet import Batch, PacketTrace, as_trace
 from .pipeline import BinPipeline, BinRecord
 from .query import (SAMPLING_CUSTOM, SAMPLING_FLOW, Query, QueryResultLog)
 
@@ -297,12 +297,13 @@ class MonitoringSystem:
 
         Thin wrapper over the streaming session API: it opens a session,
         ingests every batch of the trace and closes the session.  Driving a
-        session by hand over the same batches is bit-identical.
+        session by hand over the same batches is bit-identical.  ``trace``
+        may also be a :class:`~repro.monitor.packet.StreamingTrace` or a
+        trace store, in which case the execution is out-of-core.
         """
+        trace = as_trace(trace)
         session = self.open_session(time_bin=time_bin, name=trace.name)
-        for batch in trace.batches(time_bin):
-            session.ingest(batch)
-        return session.close()
+        return session.ingest_trace(trace).close()
 
     def _reset(self) -> None:
         for runtime in self._runtimes.values():

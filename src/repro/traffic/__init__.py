@@ -4,9 +4,11 @@ from .anomalies import (AnomalyWindow, byte_burst, ddos_attack, flash_crowd,
                         flow_spike, inject, port_scan, syn_flood,
                         worm_outbreak)
 from .generator import (ATTACK_SIGNATURE, P2P_SIGNATURES, ApplicationProfile,
-                        TrafficProfile, generate_trace, merge_traces)
+                        TrafficProfile, generate_trace, generate_trace_store,
+                        merge_traces)
 from .models import TRACE_PROFILES, load_preset, trace_profile
-from .trace_io import load_trace, save_trace
+from .trace_io import (TraceStore, TraceWriter, load_trace, open_trace,
+                       save_trace, save_trace_store)
 
 __all__ = [
     "ATTACK_SIGNATURE",
@@ -14,18 +16,23 @@ __all__ = [
     "ApplicationProfile",
     "P2P_SIGNATURES",
     "TRACE_PROFILES",
+    "TraceStore",
+    "TraceWriter",
     "TrafficProfile",
     "byte_burst",
     "ddos_attack",
     "flash_crowd",
     "flow_spike",
     "generate_trace",
+    "generate_trace_store",
     "inject",
     "load_preset",
     "load_trace",
     "merge_traces",
+    "open_trace",
     "port_scan",
     "save_trace",
+    "save_trace_store",
     "syn_flood",
     "trace_profile",
     "worm_outbreak",

@@ -17,8 +17,9 @@ All generation is vectorised with NumPy and fully deterministic given a seed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -283,6 +284,63 @@ def generate_trace(profile: Optional[TrafficProfile] = None,
         payloads=payloads,
     )
     return PacketTrace(packets, name=profile.name)
+
+
+def generate_trace_store(path: Union[str, Path],
+                         profile: Optional[TrafficProfile] = None,
+                         seed: int = 0,
+                         segment_duration: float = 10.0,
+                         time_bin: float = 0.1):
+    """Synthesise a v2 trace store segment by segment, bounded in memory.
+
+    :func:`generate_trace` materialises the whole trace, which caps the
+    workloads it can produce at the host's RAM.  This driver generates the
+    ``profile``'s duration in independent ``segment_duration``-second
+    segments — each drawn from its own deterministic per-segment RNG
+    stream, time-shifted to its position and appended to a
+    :class:`~repro.traffic.trace_io.TraceWriter` — so only one segment is
+    ever in memory and a store of any size can be written.
+
+    The packet stream is *not* sample-identical to
+    ``generate_trace(profile, seed)`` (flows do not span segment
+    boundaries and each segment consumes its own RNG stream); it is the
+    same traffic model at unbounded scale, and identical inputs always
+    regenerate an identical store.
+
+    Returns the finished :class:`~repro.traffic.trace_io.TraceStore`.
+    """
+    from .trace_io import TraceWriter
+
+    profile = profile if profile is not None else TrafficProfile()
+    segment_duration = float(segment_duration)
+    if segment_duration <= 0:
+        raise ValueError("segment_duration must be positive")
+    writer = TraceWriter(path, name=profile.name,
+                         with_payloads=profile.with_payloads,
+                         time_bin=time_bin)
+    offset = 0.0
+    index = 0
+    while offset < profile.duration:
+        seg_len = min(segment_duration, profile.duration - offset)
+        seg_profile = replace(profile, duration=seg_len)
+        seg_seed = int(np.random.SeedSequence([int(seed), index])
+                       .generate_state(1)[0])
+        segment = generate_trace(seg_profile, seed=seg_seed)
+        if len(segment) > 0:
+            pkts = segment.packets
+            writer.append(Batch(
+                ts=pkts.ts + offset,
+                src_ip=pkts.src_ip,
+                dst_ip=pkts.dst_ip,
+                src_port=pkts.src_port,
+                dst_port=pkts.dst_port,
+                proto=pkts.proto,
+                size=pkts.size,
+                payloads=pkts.payloads,
+            ))
+        offset += segment_duration
+        index += 1
+    return writer.close()
 
 
 def merge_traces(*traces: PacketTrace, name: str = "merged") -> PacketTrace:

@@ -1,25 +1,78 @@
 """Saving and loading packet traces.
 
-Traces are stored as NumPy ``.npz`` archives holding the column arrays plus
-optional payloads.  This gives reproducible, self-contained trace files that
-examples and long experiments can reuse without regenerating traffic.
+Two on-disk formats are supported:
+
+**v1** — a NumPy ``.npz`` archive holding the column arrays plus optional
+payloads.  Self-contained single-file traces; loading materialises every
+column in memory.  :func:`save_trace` / :func:`load_trace` read and write
+this format exactly as they always have.
+
+**v2** — a *trace store*: a directory with one raw ``.npy`` file per column
+plus a JSON manifest carrying a bin index.  Columns are written append-mode
+by :class:`TraceWriter` (so multi-GB workloads can be synthesised
+chunk-at-a-time without ever holding the trace in memory) and are opened
+lazily as memory maps (``np.lib.format.open_memmap``), so a store far larger
+than RAM replays chunk by chunk through
+:class:`~repro.monitor.packet.StreamingTrace` with bounded resident memory.
+
+:func:`open_trace` dispatches on the path: a store directory opens as a
+:class:`TraceStore`, anything else loads as a v1 archive.
 """
 
 from __future__ import annotations
 
 import json
+import struct
 from pathlib import Path
-from typing import Optional, Union
+from typing import List, Optional, Union
 
 import numpy as np
 
-from ..monitor.packet import Batch, PacketTrace
+from ..monitor.packet import Batch, PacketTrace, StreamingTrace
 
 _FORMAT_VERSION = 1
 
+#: Version tag of the v2 trace-store format.
+STORE_VERSION = 2
+
+#: Manifest file name marking a directory as a v2 trace store.
+MANIFEST_NAME = "manifest.json"
+
+#: Canonical column order and on-disk dtypes of a v2 store.  These mirror
+#: the dtypes :class:`~repro.monitor.packet.Batch` coerces to, so a stored
+#: column round-trips bit for bit.
+STORE_COLUMNS = (
+    ("ts", np.float64),
+    ("src_ip", np.uint32),
+    ("dst_ip", np.uint32),
+    ("src_port", np.uint16),
+    ("dst_port", np.uint16),
+    ("proto", np.uint8),
+    ("size", np.uint32),
+)
+
+
+# ----------------------------------------------------------------------
+# v1: .npz archives
+# ----------------------------------------------------------------------
+def _written_npz_path(path: Path) -> Path:
+    """The path ``np.savez_compressed`` actually writes.
+
+    NumPy appends ``.npz`` unless the file name already ends with it, so a
+    path like ``trace.dat`` is written as ``trace.dat.npz`` — the returned
+    path must say so or the caller cannot find its own file.
+    """
+    if str(path).endswith(".npz"):
+        return path
+    return path.with_name(path.name + ".npz")
+
 
 def save_trace(trace: PacketTrace, path: Union[str, Path]) -> Path:
-    """Write ``trace`` to ``path`` (an ``.npz`` archive).  Returns the path."""
+    """Write ``trace`` to ``path`` (an ``.npz`` archive).
+
+    Returns the path of the file actually written (NumPy appends ``.npz``
+    when the given name does not already end with it).
+    """
     path = Path(path)
     pkts = trace.packets
     payload = {}
@@ -43,7 +96,7 @@ def save_trace(trace: PacketTrace, path: Union[str, Path]) -> Path:
         meta=np.frombuffer(meta.encode("utf-8"), dtype=np.uint8),
         **payload,
     )
-    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+    return _written_npz_path(path)
 
 
 def load_trace(path: Union[str, Path]) -> PacketTrace:
@@ -71,3 +124,329 @@ def load_trace(path: Union[str, Path]) -> PacketTrace:
             payloads=payloads,
         )
     return PacketTrace(packets, name=meta.get("name", path.stem))
+
+
+# ----------------------------------------------------------------------
+# v2: append-mode column files
+# ----------------------------------------------------------------------
+#: Reserved byte length of the ``.npy`` header block.  The header is
+#: written twice — once with a zero shape when the file is opened, and
+#: again with the final count on close — so it must occupy a fixed block.
+_NPY_HEADER_LEN = 128
+
+
+def _npy_header(dtype: np.dtype, count: int) -> bytes:
+    """A fixed-length version-1.0 ``.npy`` header for a 1-D array."""
+    descr = np.lib.format.dtype_to_descr(np.dtype(dtype))
+    head = ("{'descr': %r, 'fortran_order': False, 'shape': (%d,), }"
+            % (descr, count)).encode("latin1")
+    magic = b"\x93NUMPY\x01\x00"
+    length = _NPY_HEADER_LEN - len(magic) - 2
+    pad = length - len(head) - 1
+    if pad < 0:
+        raise ValueError("npy header does not fit its reserved block")
+    return magic + struct.pack("<H", length) + head + b" " * pad + b"\n"
+
+
+class _ColumnWriter:
+    """Append raw values to one ``.npy`` column file.
+
+    The header is patched with the final element count on :meth:`close`;
+    until then the file carries a zero shape, so a crashed write never
+    looks like a complete column.
+    """
+
+    def __init__(self, path: Path, dtype) -> None:
+        self.path = path
+        self.dtype = np.dtype(dtype)
+        self.count = 0
+        self._fh = open(path, "wb")
+        self._fh.write(_npy_header(self.dtype, 0))
+
+    def append(self, values) -> None:
+        arr = np.ascontiguousarray(values, dtype=self.dtype)
+        arr.tofile(self._fh)
+        self.count += len(arr)
+
+    def close(self) -> None:
+        self._fh.seek(0)
+        self._fh.write(_npy_header(self.dtype, self.count))
+        self._fh.close()
+
+
+class TraceWriter:
+    """Append-mode writer of v2 trace stores.
+
+    Chunks (``Batch`` objects or whole ``PacketTrace`` segments) are
+    appended in chronological order; only the current chunk is ever held in
+    memory, so arbitrarily large workloads can be synthesised piecewise
+    (see :func:`repro.traffic.generator.generate_trace_store`).  The writer
+    maintains the manifest's bin index incrementally — the packet offset of
+    every ``time_bin`` boundary — so replay never has to scan the timestamp
+    column to find its bins.
+
+    Use as a context manager or call :meth:`close` explicitly; the manifest
+    is only written on close, so an interrupted write never yields a
+    readable (half) store.
+    """
+
+    def __init__(self, path: Union[str, Path], name: Optional[str] = None,
+                 with_payloads: bool = False, time_bin: float = 0.1) -> None:
+        self.path = Path(path)
+        if self.path.exists() and (self.path / MANIFEST_NAME).exists():
+            raise FileExistsError(
+                f"{self.path} already contains a trace store; writing into "
+                "an existing store is not supported")
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.name = name if name is not None else self.path.name
+        self.with_payloads = bool(with_payloads)
+        self.time_bin = float(time_bin)
+        if self.time_bin <= 0:
+            raise ValueError("time_bin must be positive")
+        self._columns = {
+            column: _ColumnWriter(self.path / f"{column}.npy", dtype)
+            for column, dtype in STORE_COLUMNS
+        }
+        self._payload_writers = {}
+        if self.with_payloads:
+            self._payload_writers = {
+                "payload_lengths": _ColumnWriter(
+                    self.path / "payload_lengths.npy", np.int64),
+                "payload_offsets": _ColumnWriter(
+                    self.path / "payload_offsets.npy", np.int64),
+                "payload_blob": _ColumnWriter(
+                    self.path / "payload_blob.npy", np.uint8),
+            }
+            self._payload_writers["payload_offsets"].append([0])
+        self._payload_bytes = 0
+        self._first_ts: Optional[float] = None
+        self._last_ts: Optional[float] = None
+        #: Packet offset of every finalised bin edge (edge ``i`` sits at
+        #: ``first_ts + i * time_bin``); extended as chunks arrive.
+        self._bounds: List[int] = []
+        self._store: Optional["TraceStore"] = None
+
+    @property
+    def num_packets(self) -> int:
+        return self._columns["ts"].count
+
+    def append(self, packets: Union[Batch, PacketTrace]) -> None:
+        """Append one chronological chunk of packets to the store."""
+        if self._store is not None:
+            raise RuntimeError("cannot append to a closed TraceWriter")
+        if isinstance(packets, PacketTrace):
+            packets = packets.packets
+        n = len(packets)
+        if n == 0:
+            return
+        if packets.has_payloads != self.with_payloads:
+            raise ValueError(
+                f"chunk {'carries' if packets.has_payloads else 'lacks'} "
+                f"payloads but the store was opened with "
+                f"with_payloads={self.with_payloads}")
+        ts = np.asarray(packets.ts, dtype=np.float64)
+        if n > 1 and np.any(np.diff(ts) < 0):
+            raise ValueError("timestamps within a chunk must be sorted")
+        if self._last_ts is not None and float(ts[0]) < self._last_ts:
+            raise ValueError(
+                f"chunks must be appended chronologically: chunk starts at "
+                f"{float(ts[0]):.6f} but the store already ends at "
+                f"{self._last_ts:.6f}")
+        base = self.num_packets
+        for column, _ in STORE_COLUMNS:
+            self._columns[column].append(getattr(packets, column))
+        if self.with_payloads:
+            lengths = np.array([len(p) for p in packets.payloads],
+                               dtype=np.int64)
+            offsets = self._payload_bytes + np.cumsum(lengths)
+            self._payload_writers["payload_lengths"].append(lengths)
+            self._payload_writers["payload_offsets"].append(offsets)
+            self._payload_writers["payload_blob"].append(
+                np.frombuffer(b"".join(packets.payloads), dtype=np.uint8))
+            self._payload_bytes = int(offsets[-1]) if len(offsets) else \
+                self._payload_bytes
+        if self._first_ts is None:
+            self._first_ts = float(ts[0])
+            self._bounds = [0]
+        self._last_ts = float(ts[-1])
+        self._extend_bin_index(ts, base)
+
+    def _extend_bin_index(self, ts: np.ndarray, base: int) -> None:
+        """Finalise the offsets of every bin edge the data now covers.
+
+        An edge is final once a packet at or past its timestamp has been
+        seen; because chunks arrive chronologically, that first packet is
+        always inside the current chunk, so one ``searchsorted`` over the
+        chunk pins the edge exactly where a whole-column ``searchsorted``
+        would.  The edge timestamps replicate the arithmetic of
+        ``PacketTrace.batch_list`` (``start + time_bin * i`` in float64) so
+        stored bounds are bit-compatible with the in-memory slicing.
+        """
+        first_edge = len(self._bounds)
+        last_edge = int(np.floor((self._last_ts - self._first_ts) /
+                                 self.time_bin)) + 1
+        if last_edge < first_edge:
+            return
+        edges = self._first_ts + self.time_bin * np.arange(first_edge,
+                                                           last_edge + 1)
+        edges = edges[edges <= self._last_ts]
+        if len(edges) == 0:
+            return
+        bounds = base + np.searchsorted(ts, edges)
+        self._bounds.extend(int(bound) for bound in bounds)
+
+    def close(self) -> "TraceStore":
+        """Finalise headers, write the manifest and open the store."""
+        if self._store is not None:
+            return self._store
+        count = self.num_packets
+        for writer in self._columns.values():
+            writer.close()
+        for writer in self._payload_writers.values():
+            writer.close()
+        bin_index = None
+        if count > 0:
+            n_bins = int(np.floor((self._last_ts - self._first_ts) /
+                                  self.time_bin)) + 1
+            bounds = self._bounds[:n_bins + 1]
+            while len(bounds) < n_bins + 1:
+                bounds.append(count)
+            bin_index = {"time_bin": self.time_bin, "bounds": bounds}
+        manifest = {
+            "format": "repro-trace-store",
+            "version": STORE_VERSION,
+            "name": self.name,
+            "num_packets": count,
+            "columns": {column: np.lib.format.dtype_to_descr(np.dtype(dtype))
+                        for column, dtype in STORE_COLUMNS},
+            "has_payloads": self.with_payloads,
+            "payload_bytes": self._payload_bytes,
+            "start_ts": self._first_ts,
+            "end_ts": self._last_ts,
+            "bin_index": bin_index,
+        }
+        manifest_path = self.path / MANIFEST_NAME
+        manifest_path.write_text(json.dumps(manifest, indent=1))
+        self._store = TraceStore(self.path)
+        return self._store
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        if exc_type is None:
+            self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TraceWriter(path={str(self.path)!r}, "
+                f"packets={self.num_packets})")
+
+
+class TraceStore:
+    """A v2 trace store: lazily memory-mapped columnar trace on disk.
+
+    Columns open on first access with ``np.lib.format.open_memmap`` in
+    read-only mode, so constructing a store (and slicing its columns) never
+    loads the trace into memory.  :meth:`streaming` wraps the store in a
+    :class:`~repro.monitor.packet.StreamingTrace` that yields per-bin
+    batches chunk by chunk; :meth:`to_trace` fully materialises it (only
+    sensible for stores that fit in RAM).
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        manifest_path = self.path / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise FileNotFoundError(
+                f"{self.path} is not a trace store (no {MANIFEST_NAME})")
+        manifest = json.loads(manifest_path.read_text())
+        if manifest.get("version") != STORE_VERSION:
+            raise ValueError(
+                f"unsupported trace store version "
+                f"{manifest.get('version')!r} at {self.path}")
+        self.manifest = manifest
+        self.name = manifest["name"]
+        self.num_packets = int(manifest["num_packets"])
+        self.has_payloads = bool(manifest["has_payloads"])
+        self._mmaps: dict = {}
+
+    def __len__(self) -> int:
+        return self.num_packets
+
+    def column(self, name: str) -> np.ndarray:
+        """The full column as a read-only array (memory-mapped, lazy)."""
+        arr = self._mmaps.get(name)
+        if arr is None:
+            path = self.path / f"{name}.npy"
+            # A zero-length column is just a header; mmap of an empty data
+            # block is not portable, so hand back an empty array instead.
+            header_only = path.stat().st_size <= _NPY_HEADER_LEN
+            arr = np.load(path) if header_only else \
+                np.lib.format.open_memmap(path, mode="r")
+            self._mmaps[name] = arr
+        return arr
+
+    def payloads_slice(self, lo: int, hi: int) -> Optional[List[bytes]]:
+        """Materialise the payloads of packets ``[lo, hi)`` (payload traces
+        only); the blob is touched only over the requested byte range."""
+        if not self.has_payloads:
+            return None
+        offsets = np.asarray(self.column("payload_offsets")[lo:hi + 1],
+                             dtype=np.int64)
+        if len(offsets) == 0:
+            return []
+        base = int(offsets[0])
+        raw = bytes(np.asarray(self.column("payload_blob")
+                               [base:int(offsets[-1])]))
+        return [raw[int(start) - base:int(stop) - base]
+                for start, stop in zip(offsets[:-1], offsets[1:])]
+
+    def bin_bounds(self, time_bin: float) -> Optional[np.ndarray]:
+        """Stored bin-edge packet offsets, if the manifest indexed this
+        ``time_bin``; ``None`` sends the caller to a column scan."""
+        index = self.manifest.get("bin_index")
+        if index and float(index["time_bin"]) == float(time_bin):
+            return np.asarray(index["bounds"], dtype=np.int64)
+        return None
+
+    def streaming(self, chunk_packets: int = 65536,
+                  max_resident_chunks: int = 8) -> StreamingTrace:
+        """An out-of-core trace view replaying this store chunk by chunk."""
+        return StreamingTrace(self, chunk_packets=chunk_packets,
+                              max_resident_chunks=max_resident_chunks)
+
+    def to_trace(self) -> PacketTrace:
+        """Materialise the whole store as an in-memory trace."""
+        columns = {column: np.array(self.column(column))
+                   for column, _ in STORE_COLUMNS}
+        payloads = self.payloads_slice(0, self.num_packets) \
+            if self.has_payloads else None
+        return PacketTrace(Batch(payloads=payloads, **columns),
+                           name=self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TraceStore(path={str(self.path)!r}, "
+                f"packets={self.num_packets}, "
+                f"payloads={self.has_payloads})")
+
+
+def save_trace_store(trace: PacketTrace, path: Union[str, Path],
+                     time_bin: float = 0.1) -> TraceStore:
+    """Write an in-memory trace as a v2 store and return it opened."""
+    writer = TraceWriter(path, name=trace.name,
+                         with_payloads=trace.packets.payloads is not None,
+                         time_bin=time_bin)
+    writer.append(trace.packets)
+    return writer.close()
+
+
+def open_trace(path: Union[str, Path]) -> Union[PacketTrace, TraceStore]:
+    """Open a trace of either format.
+
+    A directory containing a store manifest opens lazily as a
+    :class:`TraceStore`; anything else loads eagerly as a v1 archive.
+    """
+    path = Path(path)
+    if path.is_dir():
+        return TraceStore(path)
+    return load_trace(path)

@@ -1,10 +1,24 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and Hypothesis profiles for the test suite."""
+
+import os
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.monitor.packet import Batch
 from repro.traffic import TrafficProfile, generate_trace
+
+# Hypothesis profiles: the default keeps the suite fast on every push; the
+# nightly CI schedule runs the same properties much harder
+# (HYPOTHESIS_PROFILE=ci-nightly).  Property tests must not pin
+# ``max_examples`` in their own ``@settings`` or the profile cannot reach
+# them.
+settings.register_profile("default", max_examples=50, deadline=None)
+settings.register_profile(
+    "ci-nightly", max_examples=400, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow])
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 def make_batch(n=100, seed=0, start_ts=0.0, time_bin=0.1, payloads=False,

@@ -150,14 +150,14 @@ class TestDistinctProperties:
 
     @given(st.lists(st.integers(min_value=0, max_value=2 ** 40),
                     min_size=0, max_size=500))
-    @settings(max_examples=40, deadline=None)
+    @settings(deadline=None)
     def test_exact_counter_matches_set(self, values):
         counter = ExactDistinctCounter()
         counter.add_hashes(mix64(np.array(values, dtype=np.uint64)))
         assert counter.estimate() == len(set(values))
 
     @given(st.integers(min_value=1, max_value=5000))
-    @settings(max_examples=20, deadline=None)
+    @settings(deadline=None)
     def test_bitmap_monotone_in_cardinality(self, cardinality):
         counter = MultiResolutionBitmap()
         keys = mix64(np.arange(cardinality, dtype=np.uint64))
@@ -170,7 +170,7 @@ class TestDistinctProperties:
                     max_size=300),
            st.lists(st.integers(min_value=0, max_value=2 ** 30), min_size=1,
                     max_size=300))
-    @settings(max_examples=25, deadline=None)
+    @settings(deadline=None)
     def test_merge_upper_bounds_components(self, left, right):
         a = ExactDistinctCounter()
         b = ExactDistinctCounter()

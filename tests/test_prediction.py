@@ -105,7 +105,7 @@ class TestLinearCorrelation:
 
     @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2,
                     max_size=50))
-    @settings(max_examples=50, deadline=None)
+    @settings(deadline=None)
     def test_bounded(self, values):
         x = np.array(values)
         y = np.roll(x, 1) + 1.0

@@ -78,7 +78,7 @@ class TestScaleEstimate:
 
     @given(st.floats(min_value=0.01, max_value=1.0),
            st.floats(min_value=0.0, max_value=1e6))
-    @settings(max_examples=50, deadline=None)
+    @settings(deadline=None)
     def test_scale_monotone(self, rate, value):
         assert scale_estimate(value, rate) >= value - 1e-9
 
@@ -174,7 +174,7 @@ class TestStrategySemantics:
                               st.floats(min_value=0.0, max_value=1.0)),
                     min_size=1, max_size=8),
            st.floats(min_value=0.0, max_value=2e4))
-    @settings(max_examples=60, deadline=None)
+    @settings(deadline=None)
     def test_allocations_always_feasible(self, specs, capacity):
         demands = [QueryDemand(f"q{i}", cycles, min_rate)
                    for i, (cycles, min_rate) in enumerate(specs)]

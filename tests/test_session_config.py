@@ -24,6 +24,7 @@ import pytest
 from repro import MonitoringSystem, ReproDeprecationWarning, SystemConfig
 from repro.experiments import runner
 from repro.queries import make_query
+from repro.testing import assert_results_identical as _assert_results_identical
 
 QUERY_SET = ("counter", "flows", "top-k")
 
@@ -33,23 +34,6 @@ def calibrated(small_trace):
     return runner.calibrate_capacity(QUERY_SET, small_trace)
 
 
-def _fingerprint(result):
-    return {
-        "query_cycles": result.series("query_cycles"),
-        "mean_rate": result.series("mean_rate"),
-        "dropped_packets": result.series("dropped_packets"),
-        "predicted_cycles": result.series("predicted_cycles"),
-    }
-
-
-def _assert_results_identical(first, second):
-    first_series, second_series = _fingerprint(first), _fingerprint(second)
-    for name in first_series:
-        assert np.array_equal(first_series[name], second_series[name]), name
-    assert set(first.query_logs) == set(second.query_logs)
-    for name, log in first.query_logs.items():
-        assert log.intervals == second.query_logs[name].intervals
-        assert log.results == second.query_logs[name].results
 
 
 # ----------------------------------------------------------------------

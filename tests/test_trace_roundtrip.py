@@ -38,7 +38,7 @@ def _build_trace(seed: int, n: int, payload_lengths, name: str) -> PacketTrace:
     return PacketTrace(batch, name=name)
 
 
-@settings(max_examples=25, deadline=None,
+@settings(deadline=None,
           suppress_health_check=[HealthCheck.function_scoped_fixture])
 @given(
     seed=st.integers(0, 2 ** 20),
@@ -65,7 +65,7 @@ def test_payload_trace_roundtrip(tmp_path, seed, payload_lengths, name):
     assert loaded.packets.payloads == trace.packets.payloads
 
 
-@settings(max_examples=10, deadline=None,
+@settings(deadline=None,
           suppress_health_check=[HealthCheck.function_scoped_fixture])
 @given(seed=st.integers(0, 2 ** 20), n=st.integers(1, 40))
 def test_header_only_trace_roundtrip(tmp_path, seed, n):
@@ -91,6 +91,27 @@ def test_save_trace_appends_npz_suffix(tmp_path):
     assert returned.exists()
     loaded = load_trace(returned)
     assert loaded.packets.payloads == trace.packets.payloads
+
+
+@pytest.mark.parametrize("name", ["trace.dat", "trace.v2.1", "archive.tar.gz",
+                                  ".npz", "trace.NPZ"])
+def test_save_trace_returns_the_written_path(tmp_path, name):
+    """Regression: the returned path must be the file NumPy wrote.
+
+    ``np.savez_compressed`` appends ``.npz`` whenever the name does not
+    already end with it (including dotfiles and non-``.npz`` suffixes);
+    the returned path must round-trip through ``load_trace`` directly.
+    """
+    trace = _build_trace(5, 4, [3, 0, 1, 2], "written-path")
+    returned = save_trace(trace, tmp_path / name)
+    assert returned.exists(), returned
+    assert returned.parent == tmp_path
+    assert [p.name for p in tmp_path.iterdir()] == [returned.name]
+    loaded = load_trace(returned)
+    assert loaded.packets.payloads == trace.packets.payloads
+    for column in COLUMNS:
+        assert np.array_equal(getattr(loaded.packets, column),
+                              getattr(trace.packets, column)), column
 
 
 def test_roundtrip_is_executable(tmp_path, payload_trace_small):
