@@ -92,12 +92,18 @@ class ScenarioCell:
         return (self.trace, self.queries, self.scale, self.time_bin)
 
     def to_config(self, cycles_per_second: Optional[float] = None):
-        """The :class:`repro.SystemConfig` this cell's system is built from."""
+        """The :class:`repro.SystemConfig` this cell's system is built from.
+
+        The cell's query set rides along as the config's declarative
+        ``queries`` field, so a cell config is self-contained: it can be
+        serialised, shipped and rebuilt without the cell object.
+        """
         return runner.system_config(
             mode=self.mode, strategy=self.strategy, predictor=self.predictor,
             seed=self.seed, cycles_per_second=cycles_per_second,
             num_shards=self.num_shards,
-            shard_rebalance=self.shard_rebalance)
+            shard_rebalance=self.shard_rebalance,
+            queries=self.queries)
 
 
 @dataclass
@@ -117,7 +123,11 @@ class ScenarioMatrix:
         Allocation strategies and predictor kinds (only meaningful for the
         predictive mode, but expanded like any other axis).
     queries:
-        Query set shared by every cell.
+        Query set shared by every cell: registry names, declarative
+        :class:`~repro.queries.QuerySpec` entries (or spec dicts /
+        ``(name, kwargs)`` pairs), a named mix from
+        :data:`~repro.experiments.scenarios.QUERY_MIXES`, or a
+        comma-separated name string.
     scale:
         Workload scale factor forwarded to the trace builders.
     num_shards:
@@ -146,6 +156,23 @@ class ScenarioMatrix:
         # with a helpful message, not minutes later inside a pool worker.
         from ..core.fairness import get_strategy
         from ..core.prediction import make_predictor
+        from ..queries import parse_query_specs
+        from ..queries import QuerySpec
+        if isinstance(self.queries, str):
+            # A named mix, or a comma-separated list of registry names.
+            resolved = scenarios.QUERY_MIXES.get(self.queries)
+            if resolved is None:
+                resolved = tuple(part.strip()
+                                 for part in self.queries.split(",")
+                                 if part.strip())
+            self.queries = tuple(resolved)
+        # Registry names stay plain strings (the historical cell shape);
+        # richer entries (spec dicts, (name, kwargs) pairs) canonicalise to
+        # hashable QuerySpec objects so cells can still group and pickle.
+        self.queries = tuple(
+            spec if isinstance(spec, str) else QuerySpec.parse(spec)
+            for spec in self.queries)
+        parse_query_specs(self.queries)  # eager validation, incl. dup names
         for trace in self.traces:
             if trace not in scenarios.WORKLOADS:
                 raise KeyError(f"unknown workload {trace!r}; available: "

@@ -32,7 +32,7 @@ from ..monitor.packet import PacketTrace, as_trace
 from ..monitor.query import SAMPLING_FLOW, Query
 from ..monitor.sharding import ShardedSystem
 from ..monitor.system import ExecutionResult, MonitoringSystem
-from ..queries import make_query
+from ..queries import QuerySpec, make_query
 
 #: Default time bin (100 ms, as in the paper).
 TIME_BIN = 0.1
@@ -169,9 +169,9 @@ def evaluate_predictor(predictor: CyclePredictor,
 # ----------------------------------------------------------------------
 # Capacity calibration and full-system runs
 # ----------------------------------------------------------------------
-def build_queries(names: Sequence[str],
+def build_queries(names: Sequence,
                   query_kwargs: Optional[Dict[str, dict]] = None) -> List[Query]:
-    """Instantiate queries by name (thin wrapper around the query factory)."""
+    """Instantiate queries from specs (thin wrapper around the query factory)."""
     return _make_queries(names, query_kwargs)
 
 
@@ -211,23 +211,26 @@ def _make_queries(query_names: Sequence,
                   query_kwargs: Optional[Dict[str, dict]] = None) -> List[Query]:
     """Build query instances from specs.
 
-    Each spec is either a registry name (``"counter"``) or a
-    ``(registry_name, kwargs)`` pair; the latter allows running several
-    instances of the same query class under distinct names.
+    Each spec is anything :meth:`repro.queries.QuerySpec.parse` accepts — a
+    registry name (``"counter"``), a ``(registry_name, kwargs)`` pair, a
+    spec dict or a :class:`~repro.queries.QuerySpec` — so several instances
+    of one query class can run under distinct names and carry declarative
+    filters.  The legacy ``query_kwargs`` mapping merges extra constructor
+    arguments into name-only specs.
     """
     query_kwargs = query_kwargs or {}
     queries: List[Query] = []
     for spec in query_names:
-        if isinstance(spec, (tuple, list)):
-            name, kwargs = spec
-            queries.append(make_query(name, **dict(kwargs)))
-        else:
+        if isinstance(spec, str) and spec in query_kwargs:
             queries.append(make_query(spec, **query_kwargs.get(spec, {})))
+        else:
+            queries.append(QuerySpec.parse(spec).build())
     return queries
 
 
-def run_system(query_names: Sequence[str], trace: PacketTrace,
-               cycles_per_second: float,
+def run_system(query_names: Optional[Sequence] = None,
+               trace: PacketTrace = None,
+               cycles_per_second: float = None,
                mode: Optional[str] = None, strategy=None,
                predictor: Optional[str] = None, time_bin: float = TIME_BIN,
                query_kwargs: Optional[Dict[str, dict]] = None,
@@ -235,6 +238,11 @@ def run_system(query_names: Sequence[str], trace: PacketTrace,
                num_shards: Optional[int] = None,
                **system_kwargs) -> ExecutionResult:
     """Run a freshly-built system over a trace with an explicit capacity.
+
+    ``query_names`` is any query-mix description ``repro.queries`` can
+    parse — registry names, ``(name, kwargs)`` pairs, spec dicts or
+    :class:`~repro.queries.QuerySpec` objects; pass ``None`` to run the
+    declarative ``queries`` field of the config instead.
 
     ``trace`` may be an in-memory :class:`PacketTrace`, a
     :class:`~repro.monitor.packet.StreamingTrace`, or a trace store
@@ -255,11 +263,21 @@ def run_system(query_names: Sequence[str], trace: PacketTrace,
     ``config.shard_rebalance`` is set) and the returned result is the
     merged, stream-global one.
     """
+    if trace is None or cycles_per_second is None:
+        # Only query_names is genuinely optional (it may come from the
+        # config); these two merely default to None so query_names could.
+        raise ValueError("run_system requires a trace and an explicit "
+                         "cycles_per_second capacity")
     config = _resolve_config(config, mode=mode, strategy=strategy,
                              predictor=predictor, system_kwargs=system_kwargs)
     if num_shards is not None:
         config = config.replace(num_shards=int(num_shards))
     config = config.replace(cycles_per_second=float(cycles_per_second))
+    if query_names is None:
+        if config.queries is None:
+            raise ValueError("run_system needs query_names or a config with "
+                             "a declarative 'queries' field")
+        query_names = config.queries
     trace = as_trace(trace)
     if config.num_shards > 1:
         sharded = ShardedSystem(

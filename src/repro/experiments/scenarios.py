@@ -29,6 +29,44 @@ CUSTOM_VALIDATION_SET: Tuple[str, ...] = (
     "counter", "flows", "high-watermark", "top-k", "p2p-detector",
 )
 
+#: Named query mixes addressable from the scenario matrix and the
+#: ``python -m repro.replay --queries`` flag.  Values are anything
+#: :func:`repro.queries.parse_query_specs` accepts — plain name tuples for
+#: the paper's canonical sets, richer declarative specs for the mixes that
+#: exercise multi-instance and filtered queries.
+QUERY_MIXES: Dict[str, Tuple] = {
+    "validation-seven": VALIDATION_SEVEN,
+    "evaluation-nine": EVALUATION_NINE,
+    "sampling-robust-five": SAMPLING_ROBUST_FIVE,
+    "custom-validation": CUSTOM_VALIDATION_SET,
+    # Per-protocol accounting: the same counter run thrice behind
+    # different declarative filters, a mix no name tuple can express.
+    "protocol-split": (
+        {"kind": "counter", "kwargs": {"name": "counter-all"}},
+        {"kind": "counter", "kwargs": {"name": "counter-tcp"},
+         "filter": "tcp"},
+        {"kind": "counter", "kwargs": {"name": "counter-udp"},
+         "filter": "udp"},
+        "flows",
+    ),
+    # Ranking-heavy mix with two top-k widths side by side.
+    "rankings": (
+        {"kind": "top-k", "kwargs": {"k": 5, "name": "top-5"}},
+        {"kind": "top-k", "kwargs": {"k": 20, "name": "top-20"}},
+        "super-sources",
+        "autofocus",
+    ),
+}
+
+
+def query_mix(name: str) -> Tuple:
+    """The spec tuple of a named query mix."""
+    if name not in QUERY_MIXES:
+        raise KeyError(f"unknown query mix {name!r}; "
+                       f"available: {sorted(QUERY_MIXES)}")
+    return QUERY_MIXES[name]
+
+
 #: Default durations (seconds of generated traffic) at scale 1.0.
 DEFAULT_DURATIONS: Dict[str, float] = {
     "short": 6.0,
@@ -204,9 +242,11 @@ def build_workload(name: str, seed: Optional[int] = None,
 __all__ = [
     "CUSTOM_VALIDATION_SET",
     "EVALUATION_NINE",
+    "QUERY_MIXES",
     "SAMPLING_ROBUST_FIVE",
     "VALIDATION_SEVEN",
     "WORKLOADS",
+    "query_mix",
     "backbone_traces",
     "build_workload",
     "ddos_trace",

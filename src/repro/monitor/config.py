@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Union
+from typing import Any, Callable, Dict, Optional, Tuple, Union
 
 from ..core.cycles import CycleBudget
 from ..core.fairness import STRATEGIES
@@ -90,6 +90,14 @@ class SystemConfig:
     #: Fraction of its base capacity share a shard always retains, so a
     #: momentarily idle shard is never starved below a working minimum.
     shard_rebalance_floor: float = 0.1
+    #: Declarative query mix: a tuple of
+    #: :class:`repro.queries.QuerySpec` (anything
+    #: :func:`repro.queries.parse_query_specs` accepts — a comma-separated
+    #: name string, names, spec dicts — is canonicalised at construction).
+    #: ``None`` means the query set is supplied as instances at build time;
+    #: when set, :meth:`build` (and ``runner.run_system`` /
+    #: ``ShardedSystem`` with no explicit queries) instantiates it.
+    queries: Optional[Tuple[Any, ...]] = None
 
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
@@ -139,6 +147,10 @@ class SystemConfig:
              float(self.shard_rebalance_floor))
         if not 0.0 < self.shard_rebalance_floor <= 1.0:
             raise ValueError("shard_rebalance_floor must be in (0, 1]")
+        if self.queries is not None:
+            # Deferred import: repro.queries imports the monitor package.
+            from ..queries import parse_query_specs
+            set_(self, "queries", parse_query_specs(self.queries))
 
     # ------------------------------------------------------------------
     def replace(self, **changes: Any) -> "SystemConfig":
@@ -166,6 +178,8 @@ class SystemConfig:
                 for f in dataclasses.fields(self)}
         data["predictor_kwargs"] = dict(self.predictor_kwargs)
         data["feature_kwargs"] = dict(self.feature_kwargs)
+        if self.queries is not None:
+            data["queries"] = [spec.to_dict() for spec in self.queries]
         return data
 
     @classmethod
@@ -185,16 +199,31 @@ class SystemConfig:
             return CycleBudget(time_bin=time_bin)
         return CycleBudget(self.cycles_per_second, time_bin)
 
+    def build_queries(self):
+        """Fresh query instances for the declarative ``queries`` field.
+
+        Returns ``None`` when the config carries no query specs.  Every
+        call builds new instances, so per-shard and per-run state never
+        aliases.
+        """
+        if self.queries is None:
+            return None
+        return [spec.build() for spec in self.queries]
+
     def build(self, queries=None) -> "MonitoringSystem":  # noqa: F821
         """Construct a :class:`MonitoringSystem` from this config.
 
-        A sharded config (``num_shards > 1``) cannot be built from query
-        *instances* — every shard needs its own copies — so building one
-        here raises; construct a
-        :class:`~repro.monitor.sharding.ShardedSystem` with a query factory
-        instead (``runner.run_system`` does this automatically).
+        ``queries`` defaults to instances built from the config's own
+        declarative ``queries`` field (when set).  A sharded config
+        (``num_shards > 1``) cannot be built from query *instances* —
+        every shard needs its own copies — so building one here raises;
+        construct a :class:`~repro.monitor.sharding.ShardedSystem` with a
+        query factory instead (``runner.run_system`` does this
+        automatically).
         """
         from .system import MonitoringSystem
+        if queries is None:
+            queries = self.build_queries()
         return MonitoringSystem.from_config(self, queries)
 
 

@@ -27,6 +27,7 @@ from typing import Dict, Iterator, List, Optional, Sequence
 
 import numpy as np
 
+from ..core import aggregate
 from ..core.hashing import combine_columns
 
 #: IP protocol numbers used throughout the code base.
@@ -236,6 +237,78 @@ class Batch:
             return combine_columns(self.columns(tuple(columns)))
 
         return self.memo(key, build)
+
+    def unique_aggregate_hashes(self, columns: Sequence[str],
+                                return_inverse: bool = False):
+        """Memoised sorted unique values of :meth:`aggregate_hashes`.
+
+        Several queries (the flow table, the P2P detector's seen-flow set)
+        and the feature extractors all reduce the same batch to its unique
+        flow keys; the reduction is computed once per batch and shared.
+        With ``return_inverse`` the memoised ``(unique, inverse)`` pair is
+        returned, so per-unique-key results can be broadcast back to
+        packets without a second pass.
+        """
+        key = ("unique_hash", tuple(columns))
+        pair = self.memo(
+            key, lambda: np.unique(self.aggregate_hashes(columns),
+                                   return_inverse=True))
+        return pair if return_inverse else pair[0]
+
+    def unique_values(self, column: str):
+        """Memoised ``np.unique(column, return_inverse=True)`` pair.
+
+        The destination-keyed queries (top-k, autofocus) aggregate the
+        same batch by the same column; the reduction is shared.
+        """
+        return self.memo(
+            ("unique_column", column),
+            lambda: np.unique(getattr(self, column), return_inverse=True))
+
+    # ------------------------------------------------------------------
+    # Memoised payload derivations (batched signature scanning)
+    # ------------------------------------------------------------------
+    def payload_lengths(self) -> np.ndarray:
+        """Memoised per-payload byte lengths (requires payloads).
+
+        For a batch produced by :meth:`select` the lengths are sliced from
+        the parent batch, mirroring :meth:`aggregate_hashes`.
+        """
+        def build() -> np.ndarray:
+            if self._parent is not None:
+                return self._parent.payload_lengths()[self._parent_index]
+            return aggregate.payload_lengths(self.payloads)
+
+        return self.memo(("payload_lengths",), build)
+
+    def joined_payloads(self, separator: int):
+        """Memoised :func:`repro.core.aggregate.join_payloads` buffer.
+
+        Payload queries searching for separator-free patterns (the P2P
+        handshake signatures, the pattern-search signature) share one
+        joined haystack per batch instead of re-concatenating payloads for
+        every query and every execution pass.
+        """
+        return self.memo(
+            ("payload_join", int(separator)),
+            lambda: aggregate.join_payloads(self.payloads, int(separator),
+                                            self.payload_lengths()))
+
+    def payload_hits(self, patterns) -> np.ndarray:
+        """Payloads containing at least one of ``patterns`` (boolean mask).
+
+        Thin batch-aware wrapper over
+        :func:`repro.core.aggregate.payload_hits` feeding it the memoised
+        lengths and joined-haystack representations.
+        """
+        patterns = tuple(patterns)
+        separator = aggregate.separator_byte(patterns)
+        joined = self.joined_payloads(separator) \
+            if separator is not None and len(self) else None
+        hit, _ = aggregate.payload_hits(self.payloads, patterns,
+                                        lengths=self.payload_lengths(),
+                                        joined=joined)
+        return hit
 
     # ------------------------------------------------------------------
     # Shared filter results

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import numbers
 from abc import ABC, abstractmethod
-from typing import Dict, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 from ..core.cycles import CycleMeter, OperationCosts
 from .filters import Filter, all_packets
@@ -37,8 +37,9 @@ def merge_additive(values: Sequence, context: str = "result") -> object:
 
     Numbers sum; dicts of numbers merge key-wise (the union of keys, each
     summed).  Anything else — rankings, verdict lists, nested structures —
-    has no universal merge and must be handled by the owning query's
-    :meth:`Query.merge_interval_results` override.
+    has no universal merge and must be declared in the owning query's
+    :attr:`Query.RESULT_MERGE` spec (or handled by a
+    :meth:`Query.derive_merged` hook).
     """
     first = values[0]
     if isinstance(first, dict):
@@ -48,15 +49,48 @@ def merge_additive(values: Sequence, context: str = "result") -> object:
                 if not isinstance(item, numbers.Number):
                     raise TypeError(
                         f"cannot merge {context}[{key!r}] values of type "
-                        f"{type(item).__name__}; override "
-                        "merge_interval_results")
+                        f"{type(item).__name__}; declare a RESULT_MERGE "
+                        "rule for this key")
                 merged[key] = merged.get(key, 0) + item
         return merged
     if isinstance(first, numbers.Number):
         return sum(values)
     raise TypeError(
         f"cannot merge {context} values of type {type(first).__name__}; "
-        "override merge_interval_results")
+        "declare a RESULT_MERGE rule for this key")
+
+
+def merge_max(values: Sequence, context: str = "result") -> float:
+    """Fold per-shard values by taking the maximum."""
+    return max(values)
+
+
+def merge_union(sort_key: Optional[Callable] = None,
+                coerce: Optional[Callable] = None) -> Callable:
+    """Rule factory: sorted union of per-shard item collections.
+
+    ``coerce`` normalises items before deduplication (e.g. ``tuple`` for
+    cluster coordinates that deserialise as lists); ``sort_key`` orders the
+    merged list (natural order by default).
+    """
+    def rule(values: Sequence, context: str = "result") -> list:
+        union = set()
+        for collection in values:
+            union.update(coerce(item) if coerce is not None else item
+                         for item in collection)
+        return sorted(union, key=sort_key)
+    return rule
+
+
+#: Named merge rules usable in :attr:`Query.RESULT_MERGE`.  ``"sum"`` is
+#: also the fallback for keys with no declared rule.  The special rule
+#: ``"derived"`` marks keys the per-key fold skips entirely — the query's
+#: :meth:`Query.derive_merged` hook recomputes them from the merged values.
+MERGE_RULES: Dict[str, Callable] = {
+    "sum": merge_additive,
+    "max": merge_max,
+    "union": merge_union(),
+}
 
 #: Sampling methods a query can request from the system load shedders.
 SAMPLING_PACKET = "packet"
@@ -91,6 +125,14 @@ class Query(ABC):
     minimum_sampling_rate: float = 0.0
     measurement_interval: float = 1.0
     needs_payload: bool = False
+
+    #: Declarative shard-merge spec: result key -> merge rule.  A rule is a
+    #: name from :data:`MERGE_RULES` or a callable ``(values, context) ->
+    #: merged``; keys with no entry fold additively (numbers sum, dicts of
+    #: numbers merge key-wise).  Queries whose merged result has *derived*
+    #: keys (a ranking recomputed from merged volumes, say) override
+    #: :meth:`derive_merged` on top.
+    RESULT_MERGE: Dict[str, object] = {}
 
     def __init__(
         self,
@@ -140,19 +182,48 @@ class Query(ABC):
         the same query (:mod:`repro.monitor.sharding`), each shard produces
         its own per-interval result; this classmethod defines how those fold
         back into the result a single instance over the whole stream would
-        report.  The default is *additive* — plain numeric values sum, dicts
-        of numerics merge key-wise — which is exact for per-flow state
-        (flows never span shards) and for plain counters.  Queries whose
-        results are not additive (rankings, maxima, verdict sets) override
-        this.
+        report.  Each result key folds by the rule declared for it in
+        :attr:`RESULT_MERGE` (additive by default — exact for per-flow
+        state, since flows never span shards, and for plain counters), and
+        :meth:`derive_merged` then recomputes any keys that are functions
+        of the merged values rather than folds of the per-shard ones.
+
+        The fold runs over the *union* of the per-shard keys: a key absent
+        from some shards (a query result that grew a field mid-stream, a
+        shard that saw no matching traffic) merges over the shards that do
+        report it instead of being dropped or raising ``KeyError``.
         """
         results = list(results)
         if not results:
             return {}
         if len(results) == 1:
             return dict(results[0])
-        return {key: merge_additive([r[key] for r in results], context=key)
-                for key in results[0]}
+        keys: list = []
+        for result in results:
+            for key in result:
+                if key not in keys:
+                    keys.append(key)
+        merged: Dict = {}
+        for key in keys:
+            rule = cls.RESULT_MERGE.get(key, "sum")
+            if rule == "derived":
+                continue  # recomputed from merged values in derive_merged
+            if isinstance(rule, str):
+                rule = MERGE_RULES[rule]
+            merged[key] = rule([r[key] for r in results if key in r],
+                               context=key)
+        return cls.derive_merged(merged, results)
+
+    @classmethod
+    def derive_merged(cls, merged: Dict, results: Sequence[Dict]) -> Dict:
+        """Hook: recompute result keys derived from the merged values.
+
+        Called by :meth:`merge_interval_results` after the per-key fold,
+        with the folded dict and the original per-shard results.  The
+        default returns ``merged`` unchanged; queries like ``top-k``
+        (ranking recomputed from summed volumes) override it.
+        """
+        return merged
 
     # ------------------------------------------------------------------
     # Custom load shedding hook (Chapter 6)

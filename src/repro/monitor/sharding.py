@@ -171,7 +171,9 @@ class ShardedSystem:
     query_factory:
         Zero-argument callable returning a fresh list of
         :class:`~repro.monitor.query.Query` instances; called once per
-        shard so every shard owns independent query state.
+        shard so every shard owns independent query state.  ``None`` uses
+        the config's declarative ``queries`` field (a spec mix is a
+        factory by construction: every shard builds fresh instances).
     config:
         :class:`SystemConfig` of the *whole* system.  ``cycles_per_second``
         is the total capacity, split evenly across shards;
@@ -188,7 +190,7 @@ class ShardedSystem:
         to force a real pool on small hosts (benchmarks do).
     """
 
-    def __init__(self, query_factory: Callable[[], List[Query]],
+    def __init__(self, query_factory: Optional[Callable[[], List[Query]]] = None,
                  config: Optional[SystemConfig] = None,
                  num_shards: Optional[int] = None,
                  rebalance: Optional[bool] = None,
@@ -214,6 +216,12 @@ class ShardedSystem:
                 "dynamic capacity rebalancing requires in-process shards; "
                 "pass rebalance=False (or shard_rebalance=False in the "
                 "config) to run shards on a process pool")
+        if query_factory is None:
+            if config.queries is None:
+                raise ValueError(
+                    "ShardedSystem needs either a query_factory or a config "
+                    "with a declarative 'queries' field")
+            query_factory = config.build_queries
         self.query_factory = query_factory
         self.total_cycles_per_second = (
             config.cycles_per_second if config.cycles_per_second is not None

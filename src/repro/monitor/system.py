@@ -226,9 +226,11 @@ class MonitoringSystem:
         self._runtimes: Dict[str, _QueryRuntime] = {}
         self._prev_reactive_rate = 1.0
         self._prev_query_cycles = 0.0
-        if queries is not None:
-            for query in queries:
-                self.add_query(query)
+        if queries is None:
+            # A config may carry a declarative query mix of its own.
+            queries = config.build_queries() or ()
+        for query in queries:
+            self.add_query(query)
 
     # ------------------------------------------------------------------
     # Query management

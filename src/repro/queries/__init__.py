@@ -2,12 +2,25 @@
 
 The :func:`standard_queries` factory returns fresh instances of the query set
 used throughout the evaluation; experiments select subsets by name.
+
+On top of the name registry sits the declarative :class:`QuerySpec` layer: a
+frozen, hashable, JSON-serialisable value object naming a query *kind*, its
+constructor keyword arguments and an optional packet-filter expression.
+Specs are what :class:`repro.SystemConfig` carries in its ``queries`` field,
+what the scenario engine threads through process pools, and what the
+``python -m repro.replay --queries`` flag parses — one type from the shell
+to the shard workers.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
+from ..monitor import filters as filter_lib
+from ..monitor.filters import Filter
 from ..monitor.query import Query
 from .application import ApplicationQuery
 from .autofocus import AutofocusQuery
@@ -35,8 +48,13 @@ __all__ = [
     "TopKQuery",
     "TraceQuery",
     "QUERY_CLASSES",
+    "QuerySpec",
     "standard_queries",
     "make_query",
+    "build_queries",
+    "load_query_specs",
+    "parse_filter",
+    "parse_query_specs",
 ]
 
 #: Name -> class for the standard query set.
@@ -85,3 +103,222 @@ def standard_queries(names: Optional[Iterable[str]] = None) -> List[Query]:
     """Fresh instances of the named queries (default: all ten)."""
     selected = list(names) if names is not None else sorted(QUERY_CLASSES)
     return [make_query(name) for name in selected]
+
+
+# ----------------------------------------------------------------------
+# Declarative filter expressions
+# ----------------------------------------------------------------------
+def parse_filter(spec: Optional[str]) -> Optional[Filter]:
+    """Build a packet filter from a small declarative expression.
+
+    Supported expressions (``None``/``"all"`` mean no filtering):
+
+    ========================  ===========================================
+    ``"all"``                 every packet
+    ``"none"``                no packet (useful in tests)
+    ``"tcp"`` / ``"udp"``     by transport protocol
+    ``"proto:<n>"``           by IP protocol number
+    ``"port:<n>[:dir]"``      by port; ``dir`` is ``src``/``dst``/``either``
+    ``"subnet:<net>/<len>"``  by address prefix (integer network)
+    ``"size>=<n>"``           by minimum wire size
+    ========================  ===========================================
+    """
+    if spec is None:
+        return None
+    expression = str(spec).strip()
+    if not expression or expression == "all":
+        return None
+    if expression == "none":
+        return filter_lib.no_packets()
+    if expression == "tcp":
+        return filter_lib.tcp()
+    if expression == "udp":
+        return filter_lib.udp()
+    if expression.startswith("proto:"):
+        return filter_lib.proto(int(expression.split(":", 1)[1]))
+    if expression.startswith("port:"):
+        parts = expression.split(":")
+        direction = parts[2] if len(parts) > 2 else "either"
+        return filter_lib.port(int(parts[1]), direction=direction)
+    if expression.startswith("subnet:"):
+        network, prefix_len = expression.split(":", 1)[1].split("/")
+        return filter_lib.subnet(int(network), int(prefix_len))
+    if expression.startswith("size>="):
+        return filter_lib.size_at_least(int(expression[len("size>="):]))
+    raise ValueError(f"unknown filter expression {expression!r}; see "
+                     "repro.queries.parse_filter for the supported forms")
+
+
+# ----------------------------------------------------------------------
+# Declarative query specs
+# ----------------------------------------------------------------------
+#: Tags marking container types inside the canonical (hashable) kwargs
+#: encoding, so :func:`_plain` can rebuild dicts as dicts and sequences as
+#: lists instead of flattening everything to tuples.
+_MAPPING_TAG = "__mapping__"
+_SEQUENCE_TAG = "__sequence__"
+
+
+def _canonical(value: Any) -> Any:
+    """Recursively convert lists/dicts to tagged, hashable tuples."""
+    if isinstance(value, dict):
+        return (_MAPPING_TAG, tuple(sorted((str(k), _canonical(v))
+                                           for k, v in value.items())))
+    if isinstance(value, (list, tuple)):
+        return (_SEQUENCE_TAG, tuple(_canonical(item) for item in value))
+    return value
+
+
+def _plain(value: Any) -> Any:
+    """Inverse of :func:`_canonical` (sequences come back as lists)."""
+    if isinstance(value, tuple) and len(value) == 2:
+        if value[0] == _MAPPING_TAG:
+            return {key: _plain(item) for key, item in value[1]}
+        if value[0] == _SEQUENCE_TAG:
+            return [_plain(item) for item in value[1]]
+    return value
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """Declarative description of one query instance.
+
+    A frozen value object — hashable (so scenario grids can group by query
+    set) and JSON-serialisable (so it rides inside
+    :meth:`repro.SystemConfig.to_dict`).  ``kwargs`` accepts a plain dict at
+    construction and is canonicalised to a sorted tuple of pairs; read it
+    back with :attr:`arguments`.
+
+    Examples
+    --------
+    >>> QuerySpec("top-k", {"k": 5, "name": "top-5"})
+    QuerySpec(kind='top-k', kwargs=(('k', 5), ('name', 'top-5')), filter=None)
+    >>> QuerySpec("counter", filter="tcp").build()
+    CounterQuery(name='counter')
+    """
+
+    kind: str
+    kwargs: Any = field(default=())
+    filter: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in QUERY_CLASSES:
+            raise KeyError(f"unknown query kind {self.kind!r}; "
+                           f"available: {sorted(QUERY_CLASSES)}")
+        raw = self.kwargs
+        if raw is None:
+            raw = ()
+        if not isinstance(raw, dict):
+            raw = dict(raw)  # pairs round-trip
+        # The stored form is the sorted (key, canonical value) pair tuple of
+        # the kwargs mapping; nested containers are tagged so .arguments
+        # can rebuild dicts as dicts.
+        object.__setattr__(self, "kwargs", _canonical(raw)[1])
+        if self.filter is not None:
+            object.__setattr__(self, "filter", str(self.filter))
+            parse_filter(self.filter)  # fail eagerly on bad expressions
+
+    # ------------------------------------------------------------------
+    @property
+    def arguments(self) -> Dict[str, Any]:
+        """The constructor keyword arguments as a plain dict."""
+        return {key: _plain(value) for key, value in self.kwargs}
+
+    @property
+    def instance_name(self) -> str:
+        """The name the built query instance will carry."""
+        explicit = self.arguments.get("name")
+        return explicit if explicit is not None else self.kind
+
+    def build(self) -> Query:
+        """Instantiate the described query (fresh state every call)."""
+        kwargs = self.arguments
+        packet_filter = parse_filter(self.filter)
+        if packet_filter is not None:
+            kwargs["packet_filter"] = packet_filter
+        return make_query(self.kind, **kwargs)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain JSON-serialisable representation."""
+        data: Dict[str, Any] = {"kind": self.kind}
+        if self.kwargs:
+            data["kwargs"] = self.arguments
+        if self.filter is not None:
+            data["filter"] = self.filter
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "QuerySpec":
+        """Rebuild a spec from :meth:`to_dict` output (strict keys)."""
+        unknown = sorted(set(data) - {"kind", "kwargs", "filter"})
+        if unknown:
+            raise ValueError(f"unknown QuerySpec fields {unknown}; valid "
+                             "fields: ['filter', 'kind', 'kwargs']")
+        return cls(kind=data["kind"], kwargs=data.get("kwargs") or (),
+                   filter=data.get("filter"))
+
+    @classmethod
+    def parse(cls, spec: Union[str, Dict, Tuple, "QuerySpec"]) -> "QuerySpec":
+        """Coerce any accepted spec shape into a :class:`QuerySpec`.
+
+        Accepts an existing spec, a registry name (``"flows"``), a
+        ``(name, kwargs)`` pair (the historical ``build_queries`` shape) or
+        a dict (``{"kind": ..., "kwargs": ..., "filter": ...}``).
+        """
+        if isinstance(spec, QuerySpec):
+            return spec
+        if isinstance(spec, str):
+            return cls(kind=spec)
+        if isinstance(spec, dict):
+            return cls.from_dict(spec)
+        if isinstance(spec, (tuple, list)) and len(spec) == 2:
+            kind, kwargs = spec
+            return cls(kind=str(kind), kwargs=dict(kwargs))
+        raise TypeError(f"cannot interpret {spec!r} as a query spec")
+
+
+def parse_query_specs(specs: Union[str, Iterable]) -> Tuple[QuerySpec, ...]:
+    """Normalise a query-mix description into a tuple of specs.
+
+    ``specs`` is a comma-separated name string (``"counter,flows,top-k"``)
+    or an iterable whose items :meth:`QuerySpec.parse` accepts.  Instance
+    names must be unique — two copies of one kind need distinct
+    ``name=...`` kwargs.
+    """
+    if isinstance(specs, str):
+        items: Iterable = [part.strip() for part in specs.split(",")
+                           if part.strip()]
+    else:
+        items = specs
+    parsed = tuple(QuerySpec.parse(item) for item in items)
+    names = [spec.instance_name for spec in parsed]
+    duplicates = sorted({name for name in names if names.count(name) > 1})
+    if duplicates:
+        raise ValueError(
+            f"duplicate query instance names {duplicates}; give repeated "
+            "kinds distinct names via kwargs={'name': ...}")
+    return parsed
+
+
+def load_query_specs(path) -> Tuple[QuerySpec, ...]:
+    """Load a query mix from a JSON file.
+
+    The document is either a list (of names and/or spec dicts) or an object
+    with a ``"queries"`` list — the format ``python -m repro.replay
+    --queries specs.json`` consumes.
+    """
+    data = json.loads(Path(path).read_text())
+    if isinstance(data, dict):
+        if "queries" not in data:
+            raise ValueError(f"{path}: expected a list or an object with a "
+                             "'queries' key")
+        data = data["queries"]
+    if not isinstance(data, list):
+        raise ValueError(f"{path}: expected a JSON list of query specs")
+    return parse_query_specs(data)
+
+
+def build_queries(specs: Union[str, Iterable]) -> List[Query]:
+    """Fresh query instances for a query-mix description."""
+    return [spec.build() for spec in parse_query_specs(specs)]

@@ -7,12 +7,12 @@ the number of packets.
 
 from __future__ import annotations
 
-from collections import defaultdict
-from typing import Dict, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
-from ..core.sampling import scale_estimate
+from ..core.aggregate import KeyedAccumulator
+from ..core.sampling import scale_estimates
 from ..monitor.packet import Batch
 from ..monitor.query import SAMPLING_PACKET, Query
 
@@ -40,18 +40,21 @@ class ApplicationQuery(Query):
 
     def __init__(self, **kwargs) -> None:
         super().__init__(**kwargs)
-        self._packets: Dict[str, float] = defaultdict(float)
-        self._bytes: Dict[str, float] = defaultdict(float)
+        self._counters = KeyedAccumulator(columns=("packets", "bytes"))
 
     def reset(self) -> None:
         super().reset()
-        self._packets = defaultdict(float)
-        self._bytes = defaultdict(float)
+        self._counters.reset()
+
+    @staticmethod
+    def _labels() -> List[str]:
+        """Application labels in class-index order."""
+        return sorted(set(PORT_APPLICATIONS.values())) + ["other"]
 
     @staticmethod
     def _classify(batch: Batch) -> Tuple[np.ndarray, list]:
         """Return per-packet application indices and the label list."""
-        labels = sorted(set(PORT_APPLICATIONS.values())) + ["other"]
+        labels = ApplicationQuery._labels()
         label_index = {label: i for i, label in enumerate(labels)}
         app_idx = np.full(len(batch), label_index["other"], dtype=np.int64)
         for port, label in PORT_APPLICATIONS.items():
@@ -70,19 +73,20 @@ class ApplicationQuery(Query):
         pkt_counts = np.bincount(app_idx, minlength=len(labels))
         byte_counts = np.bincount(app_idx, weights=batch.size,
                                   minlength=len(labels))
-        for i, label in enumerate(labels):
-            if pkt_counts[i]:
-                self._packets[label] += scale_estimate(pkt_counts[i],
-                                                       sampling_rate)
-                self._bytes[label] += scale_estimate(byte_counts[i],
-                                                     sampling_rate)
+        seen = np.flatnonzero(pkt_counts)
+        self._counters.observe(
+            seen.astype(np.uint64),
+            packets=scale_estimates(pkt_counts[seen], sampling_rate),
+            bytes=scale_estimates(byte_counts[seen], sampling_rate))
 
     def interval_result(self) -> Dict[str, object]:
         self.charge("flush")
+        labels = self._labels()
         result = {
-            "packets_by_app": dict(self._packets),
-            "bytes_by_app": dict(self._bytes),
+            "packets_by_app": {labels[key]: value for key, value
+                               in self._counters.items("packets")},
+            "bytes_by_app": {labels[key]: value for key, value
+                             in self._counters.items("bytes")},
         }
-        self._packets = defaultdict(float)
-        self._bytes = defaultdict(float)
+        self._counters.reset()
         return result

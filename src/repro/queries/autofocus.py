@@ -6,6 +6,10 @@ and the query reports the clusters whose volume exceeds a threshold fraction
 of the total traffic, after removing clusters already explained by a more
 specific reported prefix (the "delta report").
 
+The per-level prefix tables are :class:`KeyedAccumulator` kernels, so the
+per-batch accumulation is one keyed array update per level instead of a
+Python loop over prefixes.
+
 Accuracy under sampling is the fraction of reported clusters that match the
 reference report (Section 2.2.1), which makes the query relatively sensitive
 to sampling — its minimum sampling rate in Table 5.2 is 0.69.
@@ -13,14 +17,14 @@ to sampling — its minimum sampling rate in Table 5.2 is 0.69.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Dict, List, Set, Tuple
 
 import numpy as np
 
-from ..core.sampling import scale_estimate
+from ..core.aggregate import KeyedAccumulator
+from ..core.sampling import scale_estimate, scale_estimates
 from ..monitor.packet import Batch
-from ..monitor.query import SAMPLING_PACKET, Query
+from ..monitor.query import SAMPLING_PACKET, Query, merge_union
 
 #: Prefix lengths of the uni-dimensional hierarchy, most specific first.
 PREFIX_LENGTHS: Tuple[int, ...] = (32, 24, 16, 8)
@@ -34,18 +38,31 @@ class AutofocusQuery(Query):
     minimum_sampling_rate = 0.69
     measurement_interval = 1.0
 
+    #: Per-shard delta reports cannot be re-thresholded without the full
+    #: prefix tables, so the merged report is the union of the clusters any
+    #: shard found significant — a superset of the unsharded report (a
+    #: cluster at 1/N of the global threshold on one shard may fall under
+    #: the global one).  Total volume is additive.
+    RESULT_MERGE = {
+        "clusters": merge_union(sort_key=lambda c: (c[1], c[0]),
+                                coerce=tuple),
+        "total_bytes": "sum",
+    }
+
     def __init__(self, threshold_fraction: float = 0.02, **kwargs) -> None:
         super().__init__(**kwargs)
         if not 0.0 < threshold_fraction < 1.0:
             raise ValueError("threshold_fraction must be in (0, 1)")
         self.threshold_fraction = float(threshold_fraction)
-        self._volumes: Dict[int, Dict[int, float]] = {
-            plen: defaultdict(float) for plen in PREFIX_LENGTHS}
+        self._volumes: Dict[int, KeyedAccumulator] = {
+            plen: KeyedAccumulator(columns=("bytes",))
+            for plen in PREFIX_LENGTHS}
         self._total_bytes = 0.0
 
     def reset(self) -> None:
         super().reset()
-        self._volumes = {plen: defaultdict(float) for plen in PREFIX_LENGTHS}
+        for table in self._volumes.values():
+            table.reset()
         self._total_bytes = 0.0
 
     def update(self, batch: Batch, sampling_rate: float) -> None:
@@ -55,14 +72,22 @@ class AutofocusQuery(Query):
         if n == 0:
             return
         self._total_bytes += scale_estimate(batch.byte_count, sampling_rate)
+        # Aggregate the finest level from the packets, then fold each
+        # coarser level from the previous one: prefix volumes are integer
+        # byte sums, so the two-stage aggregation is exact (scaling happens
+        # after the per-level fold, as in the per-packet formulation).
+        unique_dst, inverse = batch.unique_values("dst_ip")
+        keys = unique_dst.astype(np.uint64)
+        volumes = np.bincount(inverse, weights=batch.size)
+        previous_plen = 32
         for plen in PREFIX_LENGTHS:
-            shift = 32 - plen
-            prefixes = (batch.dst_ip >> shift).astype(np.int64)
-            unique, inverse = np.unique(prefixes, return_inverse=True)
-            byte_counts = np.bincount(inverse, weights=batch.size)
-            table = self._volumes[plen]
-            for prefix, volume in zip(unique, byte_counts):
-                table[int(prefix)] += scale_estimate(volume, sampling_rate)
+            if plen != previous_plen:
+                coarse = keys >> np.uint64(previous_plen - plen)
+                keys, index = np.unique(coarse, return_inverse=True)
+                volumes = np.bincount(index, weights=volumes)
+                previous_plen = plen
+            self._volumes[plen].observe(
+                keys, bytes=scale_estimates(volumes, sampling_rate))
 
     def _delta_report(self) -> List[Tuple[int, int]]:
         """Clusters above threshold not explained by a more specific cluster."""
@@ -70,9 +95,12 @@ class AutofocusQuery(Query):
         reported: List[Tuple[int, int]] = []
         explained: Dict[int, Set[int]] = {plen: set() for plen in PREFIX_LENGTHS}
         for level, plen in enumerate(PREFIX_LENGTHS):
-            for prefix, volume in self._volumes[plen].items():
-                if volume < threshold:
-                    continue
+            table = self._volumes[plen]
+            keys = table.keys
+            # Vectorised threshold cut; only the (few) significant
+            # clusters go through the per-prefix delta logic.
+            for i in np.flatnonzero(table.column("bytes") >= threshold):
+                prefix = int(keys[i])
                 if prefix in explained[plen]:
                     continue
                 reported.append((prefix, plen))
@@ -90,27 +118,7 @@ class AutofocusQuery(Query):
             "clusters": clusters,
             "total_bytes": self._total_bytes,
         }
-        self._volumes = {plen: defaultdict(float) for plen in PREFIX_LENGTHS}
+        for table in self._volumes.values():
+            table.reset()
         self._total_bytes = 0.0
         return result
-
-    @classmethod
-    def merge_interval_results(cls, results):
-        """Union the reported clusters; total volume is additive.
-
-        Per-shard delta reports cannot be re-thresholded without the full
-        prefix tables, so the merged report is the union of the clusters any
-        shard found significant — a superset of the unsharded report (a
-        cluster at 1/N of the global threshold on one shard may fall under
-        the global one).
-        """
-        results = list(results)
-        if len(results) <= 1:
-            return dict(results[0]) if results else {}
-        clusters = set()
-        for result in results:
-            clusters.update(tuple(cluster) for cluster in result["clusters"])
-        return {
-            "clusters": sorted(clusters, key=lambda c: (c[1], c[0])),
-            "total_bytes": float(sum(r["total_bytes"] for r in results)),
-        }

@@ -14,8 +14,7 @@ from __future__ import annotations
 
 from typing import Dict
 
-import numpy as np
-
+from ..core.aggregate import KeyedAccumulator
 from ..core.sampling import scale_estimate
 from ..monitor.packet import Batch
 from ..monitor.query import SAMPLING_FLOW, Query
@@ -24,9 +23,10 @@ from ..monitor.query import SAMPLING_FLOW, Query
 class FlowsQuery(Query):
     """Counts active 5-tuple flows per measurement interval.
 
-    The flow table is a sorted array of 64-bit flow keys, so the per-batch
-    membership test (which flows are new?) is a single vectorised
-    ``np.isin`` over the batch's unique keys instead of a Python loop.
+    The flow table is a column-free :class:`KeyedAccumulator` (a sorted
+    array of 64-bit flow keys), so the per-batch membership test (which
+    flows are new?) is one vectorised table update instead of a Python
+    loop.
     """
 
     name = "flows"
@@ -36,13 +36,13 @@ class FlowsQuery(Query):
 
     def __init__(self, **kwargs) -> None:
         super().__init__(**kwargs)
-        self._flow_table = np.empty(0, dtype=np.uint64)
+        self._flow_table = KeyedAccumulator()
         self._flow_estimate = 0.0
         self._packets = 0.0
 
     def reset(self) -> None:
         super().reset()
-        self._flow_table = np.empty(0, dtype=np.uint64)
+        self._flow_table.reset()
         self._flow_estimate = 0.0
         self._packets = 0.0
 
@@ -53,34 +53,24 @@ class FlowsQuery(Query):
         self.charge("hash_lookup", n)
         if n == 0:
             return
-        keys = batch.aggregate_hashes(
-            ("src_ip", "dst_ip", "src_port", "dst_port", "proto"))
-        unique_keys = np.unique(keys)
-        positions = np.searchsorted(self._flow_table, unique_keys)
-        known = np.zeros(len(unique_keys), dtype=bool)
-        in_range = positions < self._flow_table.size
-        known[in_range] = (self._flow_table[positions[in_range]] ==
-                           unique_keys[in_range])
-        new_keys = unique_keys[~known]
+        n_new = self._flow_table.observe(batch.unique_aggregate_hashes(
+            ("src_ip", "dst_ip", "src_port", "dst_port", "proto")))
         # New flows pay the insertion cost, the rest only an in-place update.
-        self.charge("hash_insert", len(new_keys))
-        self.charge("hash_update", n - len(new_keys))
-        if new_keys.size:
-            self._flow_table = np.insert(self._flow_table, positions[~known],
-                                         new_keys)
+        self.charge("hash_insert", n_new)
+        self.charge("hash_update", n - n_new)
         # Scale the newly observed flows by the inverse of the sampling rate
         # of the batch in which they first appeared, so the estimate stays
         # unbiased even when the rate changes from bin to bin.
-        self._flow_estimate += scale_estimate(len(new_keys), sampling_rate)
+        self._flow_estimate += scale_estimate(n_new, sampling_rate)
 
     def interval_result(self) -> Dict[str, float]:
         self.charge("flush")
-        self.charge("hash_update", self._flow_table.size)
+        self.charge("hash_update", len(self._flow_table))
         result = {
             "flows": self._flow_estimate,
             "packets": self._packets,
         }
-        self._flow_table = np.empty(0, dtype=np.uint64)
+        self._flow_table.reset()
         self._flow_estimate = 0.0
         self._packets = 0.0
         return result

@@ -21,6 +21,16 @@ class HighWatermarkQuery(Query):
     minimum_sampling_rate = 0.15
     measurement_interval = 1.0
 
+    #: Shard watermarks merge by summation, not maximum, per time bin: each
+    #: shard's watermark is the peak of *its slice* of the stream, and the
+    #: global peak bin is the one where the summed slices peak.  Because all
+    #: shards observe the same bin timeline, summing per-shard maxima
+    #: over-estimates only when shards peak in different bins — taking the
+    #: per-shard maximum would instead systematically under-estimate by
+    #: roughly a factor of N.  The sum is the standard mergeable upper
+    #: bound and is exact whenever the traffic peak is stream-wide.
+    RESULT_MERGE = {"watermark_bytes": "sum", "watermark_packets": "sum"}
+
     def __init__(self, **kwargs) -> None:
         super().__init__(**kwargs)
         self._watermark_bytes = 0.0
@@ -48,25 +58,3 @@ class HighWatermarkQuery(Query):
         self._watermark_bytes = 0.0
         self._watermark_packets = 0.0
         return result
-
-    @classmethod
-    def merge_interval_results(cls, results):
-        """Shard watermarks merge by summation, not maximum, per time bin.
-
-        Each shard's watermark is the peak of *its slice* of the stream; the
-        global peak bin is the one where the summed slices peak.  Because
-        all shards observe the same bin timeline, summing per-shard maxima
-        over-estimates only when shards peak in different bins — taking the
-        per-shard maximum would instead systematically under-estimate by
-        roughly a factor of N.  The sum is the standard mergeable upper
-        bound and is exact whenever the traffic peak is stream-wide.
-        """
-        results = list(results)
-        if len(results) <= 1:
-            return dict(results[0]) if results else {}
-        return {
-            "watermark_bytes": float(sum(r["watermark_bytes"]
-                                         for r in results)),
-            "watermark_packets": float(sum(r["watermark_packets"]
-                                           for r in results)),
-        }

@@ -13,6 +13,13 @@ example of Chapter 6:
   the query keeps a much higher accuracy for the same resource usage
   (Figures 6.1 and 6.2).
 
+The detection state lives in :class:`KeyedAccumulator` kernels (the seen /
+flagged flow tables and the per-flow handshake-hit counters) and the
+signature scan is the batched :func:`~repro.core.aggregate.payload_hits`
+sweep, so the per-packet Python loop of the original implementation is gone.
+The semantics — including the exact bytes charged to the cycle meter, which
+stop accruing for a flow once it is flagged — are unchanged.
+
 Besides the cooperative custom-shedding variant, this module provides the
 *selfish* and *buggy* variants used in Sections 6.3.4 and 6.3.5 to exercise
 the enforcement policy.
@@ -20,10 +27,11 @@ the enforcement policy.
 
 from __future__ import annotations
 
-from typing import Dict, Set, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
+from ..core.aggregate import KeyedAccumulator
 from ..core.hashing import H3Hash
 from ..core.sampling import scale_estimate
 from ..monitor.packet import Batch
@@ -51,6 +59,14 @@ class P2PDetectorQuery(Query):
     measurement_interval = 1.0
     needs_payload = True
 
+    #: Flow affinity makes the verdict-set union exact: a flow's packets
+    #: (and therefore its handshake) are confined to one shard, so the
+    #: union of the per-shard ``p2p_flows`` lists is precisely the set a
+    #: single detector over the whole stream would flag, and the flow
+    #: counts sum without double counting.
+    RESULT_MERGE = {"p2p_flows": "union", "flows_seen": "sum",
+                    "p2p_flow_count": "sum"}
+
     #: Number of signature-carrying (handshake) packets that must be observed
     #: before a flow is flagged as P2P; signature-based detectors need to see
     #: the handshake exchange, not just one direction.
@@ -61,17 +77,17 @@ class P2PDetectorQuery(Query):
         self.custom_shedding = bool(custom_shedding)
         if custom_shedding:
             self.sampling_method = SAMPLING_CUSTOM
-        self._flows_seen: Set[int] = set()
-        self._signature_hits: Dict[int, int] = {}
-        self._p2p_flows: Set[int] = set()
+        self._flows_seen = KeyedAccumulator()
+        self._signature_hits = KeyedAccumulator(columns=("hits",))
+        self._p2p_flows = KeyedAccumulator()
         self._sampling_rate = 1.0
         self._flow_hash = H3Hash(rng=np.random.default_rng(7))
 
     def reset(self) -> None:
         super().reset()
-        self._flows_seen = set()
-        self._signature_hits = {}
-        self._p2p_flows = set()
+        self._flows_seen.reset()
+        self._signature_hits.reset()
+        self._p2p_flows.reset()
         self._sampling_rate = 1.0
 
     # ------------------------------------------------------------------
@@ -85,33 +101,85 @@ class P2PDetectorQuery(Query):
             return
         keys = batch.aggregate_hashes(
             ("src_ip", "dst_ip", "src_port", "dst_port", "proto"))
-        new_flows = set(int(k) for k in np.unique(keys)) - self._flows_seen
-        self.charge("hash_insert", len(new_flows))
-        self._flows_seen.update(new_flows)
+        unique, inverse = batch.unique_aggregate_hashes(
+            ("src_ip", "dst_ip", "src_port", "dst_port", "proto"),
+            return_inverse=True)
+        new_flows = self._flows_seen.observe(unique)
+        self.charge("hash_insert", new_flows)
 
-        port_hit = np.isin(batch.dst_port, P2P_PORTS) | \
-            np.isin(batch.src_port, P2P_PORTS)
-        payloads = batch.payloads if batch.has_payloads else None
-        scanned_bytes = 0
-        for i in range(n):
-            flow = int(keys[i])
-            if flow in self._p2p_flows:
-                continue
-            signature_hit = False
-            if payloads is not None and payloads[i]:
-                payload = payloads[i]
-                scanned_bytes += len(payload)
-                signature_hit = any(payload.find(sig) >= 0
-                                    for sig in P2P_SIGNATURES)
-            if signature_hit:
-                hits = self._signature_hits.get(flow, 0) + 1
-                self._signature_hits[flow] = hits
-                if hits >= self.handshake_packets:
-                    self._p2p_flows.add(flow)
-            elif payloads is None and bool(port_hit[i]):
-                # Header-only traffic: fall back to the port heuristic alone.
-                self._p2p_flows.add(flow)
+        # Packets of flows already flagged are skipped outright: they are
+        # neither scanned nor counted, exactly as the per-packet loop did.
+        # Membership is tested once per unique flow and broadcast back.
+        active = ~self._p2p_flows.contains(unique)[inverse]
+        if batch.has_payloads:
+            scanned_bytes = self._scan_payloads(batch, keys, active,
+                                                unique, inverse)
+        else:
+            # Header-only traffic: fall back to the port heuristic alone.
+            port_hit = np.isin(batch.dst_port, P2P_PORTS) | \
+                np.isin(batch.src_port, P2P_PORTS)
+            flagged = keys[active & port_hit]
+            if flagged.size:
+                self._p2p_flows.observe(np.unique(flagged))
+            scanned_bytes = 0
         self.charge("regex_byte", scanned_bytes * len(P2P_SIGNATURES))
+
+    def _scan_payloads(self, batch: Batch, keys: np.ndarray,
+                       active: np.ndarray, unique: np.ndarray,
+                       inverse: np.ndarray) -> int:
+        """Signature scan with per-flow handshake thresholding.
+
+        Returns the number of payload bytes the scalar reference
+        implementation would have scanned: packets of a flow stop counting
+        (and stop being scanned) from the moment the flow crosses the
+        handshake threshold, so the ``regex_byte`` charge is bit-identical
+        to the original per-packet loop.
+        """
+        sig_hit = batch.payload_hits(P2P_SIGNATURES)
+        lengths = batch.payload_lengths()
+        index = np.flatnonzero(active)
+        if index.size == 0:
+            return 0
+        hits_here = sig_hit[index]
+        scanned_bytes = int(lengths[index].sum())
+        if not hits_here.any():
+            # No signature anywhere in the batch: nothing can cross the
+            # handshake threshold (prior counts are always below it, or the
+            # flow would already be flagged), so every active packet is
+            # scanned and no per-flow state changes.
+            return scanned_bytes
+        # Only flows with an in-batch signature hit can update counters,
+        # flag, or skip packets; restrict the per-flow threshold pass to
+        # their packets (flagged via the unique-flow index, not a search).
+        inverse_active = inverse[index]
+        hit_unique = np.zeros(len(unique), dtype=bool)
+        hit_unique[inverse_active[hits_here]] = True
+        relevant = hit_unique[inverse_active]
+        flows = keys[index][relevant]
+        # Group the relevant packets by flow, preserving arrival order
+        # inside each group (stable sort), and accumulate hits per flow.
+        order = np.argsort(flows, kind="stable")
+        flows = flows[order]
+        hits = hits_here[relevant][order].astype(np.int64)
+        seg_start = np.r_[True, flows[1:] != flows[:-1]]
+        seg_ids = np.cumsum(seg_start) - 1
+        seg_lengths = np.bincount(seg_ids)
+        prior = self._signature_hits.lookup(flows[seg_start], "hits")
+        running = np.cumsum(hits)
+        running -= np.repeat((running - hits)[seg_start], seg_lengths)
+        total = prior[seg_ids] + running
+        # A packet is skipped when its flow reached the threshold strictly
+        # before it; the flagging packet itself is still scanned.
+        skipped = (total - hits) >= self.handshake_packets
+        if skipped.any():
+            scanned_bytes -= int(lengths[index][relevant][order][skipped].sum())
+        counted = np.bincount(seg_ids, weights=hits * ~skipped)
+        segment_flows = flows[seg_start]
+        self._signature_hits.observe(segment_flows, hits=counted)
+        flagged = segment_flows[(prior + counted) >= self.handshake_packets]
+        if flagged.size:
+            self._p2p_flows.observe(flagged)
+        return scanned_bytes
 
     def update(self, batch: Batch, sampling_rate: float) -> None:
         self._sampling_rate = sampling_rate
@@ -149,39 +217,16 @@ class P2PDetectorQuery(Query):
     def interval_result(self) -> Dict[str, object]:
         self.charge("flush")
         result = {
-            "p2p_flows": sorted(self._p2p_flows),
+            "p2p_flows": [int(flow) for flow in self._p2p_flows.keys],
             "flows_seen": scale_estimate(len(self._flows_seen),
                                          self._sampling_rate),
             "p2p_flow_count": scale_estimate(len(self._p2p_flows),
                                              self._sampling_rate),
         }
-        self._flows_seen = set()
-        self._signature_hits = {}
-        self._p2p_flows = set()
+        self._flows_seen.reset()
+        self._signature_hits.reset()
+        self._p2p_flows.reset()
         return result
-
-    @classmethod
-    def merge_interval_results(cls, results):
-        """Union the per-shard P2P verdicts; counts are additive.
-
-        Flow affinity makes the merge exact for the verdict set: a flow's
-        packets (and therefore its handshake) are confined to one shard, so
-        the union of the per-shard ``p2p_flows`` lists is precisely the set
-        a single detector over the whole stream would flag, and the flow
-        counts sum without double counting.
-        """
-        results = list(results)
-        if len(results) <= 1:
-            return dict(results[0]) if results else {}
-        verdicts = set()
-        for result in results:
-            verdicts.update(result["p2p_flows"])
-        return {
-            "p2p_flows": sorted(verdicts),
-            "flows_seen": float(sum(r["flows_seen"] for r in results)),
-            "p2p_flow_count": float(sum(r["p2p_flow_count"]
-                                        for r in results)),
-        }
 
 
 class SelfishP2PDetectorQuery(P2PDetectorQuery):

@@ -4,6 +4,12 @@ Searches every packet payload for a configurable byte signature using the
 Boyer-Moore(-Horspool) algorithm the paper cites, whose cost is linear in the
 number of scanned bytes.  Like the trace query, its accuracy under sampling
 is defined as the fraction of packets processed.
+
+The production path scans the whole batch in one
+:func:`~repro.core.aggregate.payload_hits` sweep (a single C-level search
+over the joined payloads) instead of a per-packet Python loop; the
+``use_reference_search`` flag keeps the packet-at-a-time Boyer-Moore path
+for documentation and differential testing.
 """
 
 from __future__ import annotations
@@ -79,12 +85,17 @@ class PatternSearchQuery(Query):
         if not batch.has_payloads:
             # Header-only traffic: nothing to scan, the cost stays per-packet.
             return
-        scanned_bytes = 0
-        matches = 0
-        for payload in batch.payloads:
-            scanned_bytes += len(payload)
-            if payload and self._search(payload):
-                matches += 1
+        if self.use_reference_search:
+            scanned_bytes = 0
+            matches = 0
+            for payload in batch.payloads:
+                scanned_bytes += len(payload)
+                if payload and self._search(payload):
+                    matches += 1
+        else:
+            hit = batch.payload_hits((self.pattern,))
+            scanned_bytes = int(batch.payload_lengths().sum())
+            matches = int(hit.sum())
         self.charge("regex_byte", scanned_bytes)
         self.charge("store_byte", matches * 64)
         self._bytes_scanned += scanned_bytes

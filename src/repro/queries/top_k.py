@@ -9,10 +9,11 @@ minimum sampling rate in Table 5.2 is 0.57.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from ..core.aggregate import KeyedAccumulator
 from ..core.sampling import scale_estimates
 from ..monitor.packet import Batch
 from ..monitor.query import SAMPLING_PACKET, Query
@@ -21,10 +22,10 @@ from ..monitor.query import SAMPLING_PACKET, Query
 class TopKQuery(Query):
     """Ranking of the top-k destination IP addresses by byte volume.
 
-    The per-destination byte table is a pair of parallel arrays (sorted
-    destination keys, accumulated volumes), so the per-batch membership
-    test and the per-destination accumulation are pure array operations —
-    no Python loop over destinations.
+    The per-destination byte table is a :class:`KeyedAccumulator` (sorted
+    destination keys with a parallel volume column), so the per-batch
+    membership test and the per-destination accumulation are pure array
+    operations — no Python loop over destinations.
     """
 
     name = "top-k"
@@ -32,54 +33,43 @@ class TopKQuery(Query):
     minimum_sampling_rate = 0.57
     measurement_interval = 1.0
 
+    #: ``ranking`` and the truncated ``bytes`` map are recomputed from the
+    #: merged volumes by :meth:`derive_merged`; ``table_size`` sums.
+    RESULT_MERGE = {"ranking": "derived", "bytes": "derived",
+                    "table_size": "sum"}
+
     def __init__(self, k: int = 10, **kwargs) -> None:
         super().__init__(**kwargs)
         self.k = int(k)
-        self._dst_keys = np.empty(0, dtype=np.int64)
-        self._dst_bytes = np.empty(0, dtype=np.float64)
+        self._table = KeyedAccumulator(columns=("bytes",))
 
     def reset(self) -> None:
         super().reset()
-        self._dst_keys = np.empty(0, dtype=np.int64)
-        self._dst_bytes = np.empty(0, dtype=np.float64)
+        self._table.reset()
 
     def update(self, batch: Batch, sampling_rate: float) -> None:
         n = len(batch)
         if n == 0:
             self.charge("hash_lookup", 0)
             return
-        unique_dst, inverse = np.unique(batch.dst_ip, return_inverse=True)
+        unique_dst, inverse = batch.unique_values("dst_ip")
         byte_counts = np.bincount(inverse, weights=batch.size)
-        unique_dst = unique_dst.astype(np.int64)
-        positions = np.searchsorted(self._dst_keys, unique_dst)
-        found = np.zeros(len(unique_dst), dtype=bool)
-        in_range = positions < self._dst_keys.size
-        found[in_range] = (self._dst_keys[positions[in_range]] ==
-                           unique_dst[in_range])
-        new_entries = int(len(unique_dst) - found.sum())
+        scaled = scale_estimates(byte_counts, sampling_rate)
+        new_entries = self._table.observe(unique_dst.astype(np.uint64),
+                                          bytes=scaled)
         # One lookup per packet, insertions for previously unseen keys.
         self.charge("hash_lookup", n)
         self.charge("hash_insert", new_entries)
         self.charge("hash_update", len(unique_dst) - new_entries)
-        scaled = scale_estimates(byte_counts, sampling_rate)
-        self._dst_bytes[positions[found]] += scaled[found]
-        if new_entries:
-            insert_at = positions[~found]
-            self._dst_keys = np.insert(self._dst_keys, insert_at,
-                                       unique_dst[~found])
-            self._dst_bytes = np.insert(self._dst_bytes, insert_at,
-                                        scaled[~found])
 
     def _ranking(self) -> List[Tuple[int, float]]:
         # Primary key: volume descending; ties broken by smaller address.
-        order = np.lexsort((self._dst_keys, -self._dst_bytes))[:self.k]
-        return [(int(self._dst_keys[i]), float(self._dst_bytes[i]))
-                for i in order]
+        return self._table.top(self.k, "bytes")
 
     def interval_result(self) -> Dict[str, object]:
         self.charge("flush")
         # Ranking cost: n log n comparisons over the table.
-        table_size = int(self._dst_keys.size)
+        table_size = len(self._table)
         self.charge("sort_op", table_size * max(1.0, np.log2(max(table_size, 2))))
         top = self._ranking()
         result = {
@@ -87,33 +77,29 @@ class TopKQuery(Query):
             "bytes": {dst: volume for dst, volume in top},
             "table_size": float(table_size),
         }
-        self._dst_keys = np.empty(0, dtype=np.int64)
-        self._dst_bytes = np.empty(0, dtype=np.float64)
+        self._table.reset()
         return result
 
     @classmethod
-    def merge_interval_results(cls, results):
-        """Merge per-shard rankings by re-ranking the summed byte volumes.
+    def derive_merged(cls, merged: Dict, results: Sequence[Dict]) -> Dict:
+        """Re-rank the summed per-shard volumes and truncate to the top k.
 
         Each shard reports its local top-k; the merged ranking re-sorts the
-        union of those entries by total volume.  A destination spread across
-        shards can in principle be under-counted when it falls outside a
-        shard's local top-k — the classical mergeable-summary caveat — but
-        with flow-affine partitioning a destination's traffic concentrates
-        on few shards, so the merged ranking matches the unsharded one in
+        union of those entries by total volume (``k`` recovered from the
+        widest shard ranking).  A destination spread across shards can in
+        principle be under-counted when it falls outside a shard's local
+        top-k — the classical mergeable-summary caveat — but with
+        flow-affine partitioning a destination's traffic concentrates on
+        few shards, so the merged ranking matches the unsharded one in
         practice (the sharding tests pin the tolerance).
         """
-        results = list(results)
-        if len(results) <= 1:
-            return dict(results[0]) if results else {}
         volumes: Dict[int, float] = {}
         for result in results:
-            for dst, nbytes in result["bytes"].items():
+            for dst, nbytes in result.get("bytes", {}).items():
                 volumes[dst] = volumes.get(dst, 0.0) + nbytes
-        k = max(len(result["ranking"]) for result in results)
+        k = max((len(result["ranking"]) for result in results
+                 if "ranking" in result), default=0)
         top = sorted(volumes.items(), key=lambda item: (-item[1], item[0]))[:k]
-        return {
-            "ranking": [dst for dst, _ in top],
-            "bytes": {dst: volume for dst, volume in top},
-            "table_size": float(sum(r["table_size"] for r in results)),
-        }
+        merged["ranking"] = [dst for dst, _ in top]
+        merged["bytes"] = {dst: volume for dst, volume in top}
+        return merged

@@ -22,10 +22,33 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
 import numpy as np
+
+
+def resolve_query_specs(value: str):
+    """Turn the ``--queries`` argument into a tuple of query specs.
+
+    Resolution order: anything ending in ``.json`` loads as a JSON spec
+    file; a known mix name expands from
+    :data:`repro.experiments.scenarios.QUERY_MIXES` (mix names always win
+    over same-named files, so a stray file in the working directory cannot
+    shadow a documented mix); any other existing path loads as a spec
+    file; anything else parses as comma-separated registry names.
+    """
+    from .experiments.scenarios import QUERY_MIXES
+    from .queries import load_query_specs, parse_query_specs
+
+    if value.endswith(".json"):
+        return load_query_specs(value)
+    if value in QUERY_MIXES:
+        return parse_query_specs(QUERY_MIXES[value])
+    if os.path.exists(value):
+        return load_query_specs(value)
+    return parse_query_specs(value)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -36,7 +59,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("trace", help="path to a .npz trace or a trace-store "
                                       "directory")
     parser.add_argument("--queries", default="counter,flows,top-k",
-                        help="comma-separated query names "
+                        help="comma-separated query names, a named mix from "
+                             "repro.experiments.scenarios.QUERY_MIXES, or a "
+                             "path to a JSON spec file (a list of names "
+                             "and/or {kind, kwargs, filter} objects) "
                              "(default: %(default)s)")
     parser.add_argument("--mode", default="predictive",
                         help="operating mode (default: %(default)s)")
@@ -136,9 +162,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     from .traffic.trace_io import TraceStore, open_trace
 
     args = build_parser().parse_args(argv)
-    query_names = [name.strip() for name in args.queries.split(",")
-                   if name.strip()]
-    if not query_names:
+    try:
+        query_specs = resolve_query_specs(args.queries)
+    except (KeyError, ValueError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not query_specs:
         print("error: no queries given", file=sys.stderr)
         return 2
 
@@ -151,7 +180,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     else:
         trace = source
 
-    config = runner.system_config(mode=args.mode, seed=args.seed)
+    # The query mix rides inside the config, so the whole run description
+    # round-trips through SystemConfig.to_dict()/from_dict().
+    config = runner.system_config(mode=args.mode, seed=args.seed,
+                                  queries=query_specs)
     if args.strategy is not None:
         config = config.replace(strategy=args.strategy)
     if args.predictor is not None:
@@ -163,7 +195,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not 0.0 <= args.overload < 1.0:
             print("error: --overload must be in [0, 1)", file=sys.stderr)
             return 2
-        base, _ = runner.calibrate_capacity(query_names, trace,
+        base, _ = runner.calibrate_capacity(query_specs, trace,
                                             time_bin=args.time_bin)
         capacity = base * (1.0 - args.overload)
         if streaming is not None:
@@ -175,7 +207,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 max_resident_chunks=args.max_chunks)
             trace = streaming
 
-    result = runner.run_system(query_names, trace, capacity,
+    result = runner.run_system(None, trace, capacity,
                                time_bin=args.time_bin, config=config,
                                num_shards=args.num_shards)
     summary = _summary(result, trace, args, capacity, streaming)

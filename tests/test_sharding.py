@@ -25,9 +25,6 @@ from repro.monitor.pipeline import BinRecord
 from repro.monitor.sharding import (ShardedSystem, merge_bin_records,
                                     shard_seed)
 from repro.queries import make_query
-from repro.queries.high_watermark import HighWatermarkQuery
-from repro.queries.p2p_detector import P2PDetectorQuery
-from repro.queries.top_k import TopKQuery
 from tests.conftest import make_batch
 
 QUERY_SET = ("counter", "flows", "top-k", "application")
@@ -188,36 +185,10 @@ class TestPoolTransparency:
 
 
 class TestResultMerging:
-    def test_high_watermark_merges_by_summation(self):
-        results = [{"watermark_bytes": 100.0, "watermark_packets": 10.0},
-                   {"watermark_bytes": 250.0, "watermark_packets": 5.0}]
-        merged = HighWatermarkQuery.merge_interval_results(results)
-        assert merged == {"watermark_bytes": 350.0,
-                          "watermark_packets": 15.0}
-
-    def test_top_k_reranks_summed_volumes(self):
-        results = [
-            {"ranking": [1, 2], "bytes": {1: 50.0, 2: 40.0},
-             "table_size": 4.0},
-            {"ranking": [2, 3], "bytes": {2: 30.0, 3: 60.0},
-             "table_size": 3.0},
-        ]
-        merged = TopKQuery.merge_interval_results(results)
-        # k is recovered from the widest shard ranking (2 here): the summed
-        # volumes re-rank 2 (70) above 3 (60), and 1 (50) falls off.
-        assert merged["ranking"] == [2, 3]
-        assert merged["bytes"] == {2: 70.0, 3: 60.0}
-        assert merged["table_size"] == 7.0
-
-    def test_p2p_detector_unions_verdicts(self):
-        results = [
-            {"p2p_flows": [3, 5], "flows_seen": 10.0, "p2p_flow_count": 2.0},
-            {"p2p_flows": [5, 9], "flows_seen": 7.0, "p2p_flow_count": 2.0},
-        ]
-        merged = P2PDetectorQuery.merge_interval_results(results)
-        assert merged["p2p_flows"] == [3, 5, 9]
-        assert merged["flows_seen"] == 17.0
-
+    # Per-query merge *semantics* (k-recovery, verdict union, watermark
+    # summation, fan-out re-topping) are covered by the merge-invariant
+    # property suite in tests/test_merge_properties.py; here we keep the
+    # session-level merging contracts.
     def test_single_result_merge_is_identity(self):
         result = {"packets": 5.0, "bytes": 100.0}
         merged = make_query("counter").merge_interval_results([result])
