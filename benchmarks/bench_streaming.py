@@ -7,14 +7,26 @@ materialised in memory (the pre-store idiom) and once streamed through
 the out-of-core regime the store exists for.  A third replay drives the
 ``num_shards=4`` in-process sharded pipeline from the same stream.
 
-The acceptance bar is *correctness at bounded memory*, not speed: both
-streamed replays must be bit-identical to the in-memory execution while
-the LRU never holds more than its K chunks.  The streaming overhead factor
-(streamed wall time over in-memory wall time) is recorded into
-``BENCH_report.json`` so regressions in the chunk path show up per commit;
-a loose sanity ceiling guards against pathological slowdowns.
+The acceptance bar for the first benchmark is *correctness at bounded
+memory*, not speed: both streamed replays must be bit-identical to the
+in-memory execution while the LRU never holds more than its K chunks.  The
+streaming overhead factor (streamed wall time over in-memory wall time) is
+recorded into ``BENCH_report.json`` so regressions in the chunk path show
+up per commit; a loose sanity ceiling guards against pathological
+slowdowns.
+
+The second benchmark is the throughput claim: the same out-of-core stream
+replayed over the **persistent shard-worker pool** (one resident process
+per shard, shared-memory batch transport, prefetching chunk cache) must
+beat the serial streamed replay by >= ~2x on a >= 4-core host.  Sharding
+needs hardware to shard onto, so — exactly like ``bench_sharded.py`` — the
+bar scales with the host: a weaker parallelism floor on 2-3 cores, and on
+a single-core host only a sanity floor (4 time-sliced pipelines cannot
+beat 1; the run then pins that the worker path streams correctly and is
+not pathologically slower).
 """
 
+import os
 import time
 
 from conftest import BENCH_SCALE, record_result
@@ -32,6 +44,24 @@ MIN_CHUNK_FACTOR = 4
 #: (it re-slices bins from mmap instead of reusing memoised batches, so
 #: some overhead is expected; 4x would mean the chunk path regressed).
 MAX_OVERHEAD = 4.0
+
+#: Query mix for the worker-throughput benchmark: heavy per-packet work so
+#: parallel shards have real compute to win back (the regime sharding
+#: exists for).
+DENSE_QUERY_SET = ("counter", "flows", "top-k", "p2p-detector",
+                   "application")
+NUM_SHARDS = 4
+CORES = os.cpu_count() or 1
+if CORES >= 4:
+    WORKER_MIN_SPEEDUP = 2.0
+elif CORES >= 2:
+    WORKER_MIN_SPEEDUP = 1.0
+else:
+    WORKER_MIN_SPEEDUP = 0.2
+if os.environ.get("CI"):
+    # Shared CI runners are noisy neighbours; the smoke job is a regression
+    # tripwire, not a performance gate.
+    WORKER_MIN_SPEEDUP = min(WORKER_MIN_SPEEDUP, 1.2)
 
 
 def _build_store(tmp_path):
@@ -103,3 +133,82 @@ def test_streaming_replay_bit_identical_and_bounded(benchmark, tmp_path):
                   num_chunks=streaming.num_chunks,
                   max_resident_chunks=MAX_RESIDENT_CHUNKS)
     assert overhead <= MAX_OVERHEAD
+
+
+def test_persistent_workers_beat_serial_streaming(benchmark, tmp_path):
+    """Out-of-core replay on the persistent shard-worker pool vs serial.
+
+    This is the bug the worker pool fixes: ``num_shards=4`` used to run the
+    shards serially in-process and *lose* to the unsharded replay.  With one
+    resident process per shard and shared-memory batch transport the sharded
+    streamed replay must now beat the serial streamed replay wherever the
+    host has cores to shard onto — and stay bit-identical to the in-process
+    sharded execution everywhere.
+    """
+    profile = TrafficProfile(
+        duration=max(1.5, 3.0 * BENCH_SCALE),
+        flow_arrival_rate=8000.0,
+        with_payloads=False,
+        name="worker-bench",
+    )
+    store = generate_trace_store(tmp_path / "dense", profile, seed=34,
+                                 segment_duration=1.0)
+    trace = store.to_trace()
+    chunk_packets = max(1, store.num_packets //
+                        (MIN_CHUNK_FACTOR * MAX_RESIDENT_CHUNKS))
+
+    capacity, _ = runner.calibrate_capacity(DENSE_QUERY_SET, trace)
+    config = runner.system_config(cycles_per_second=capacity * 0.5,
+                                  shard_rebalance=False, seed=29)
+
+    def _stream(prefetch):
+        return store.streaming(chunk_packets=chunk_packets,
+                               max_resident_chunks=MAX_RESIDENT_CHUNKS,
+                               prefetch=prefetch)
+
+    def _serial():
+        return runner.run_system(DENSE_QUERY_SET, _stream(False),
+                                 capacity * 0.5, config=config)
+
+    def _workers():
+        streaming = _stream(True)
+        result = runner.run_system(
+            DENSE_QUERY_SET, streaming, capacity * 0.5,
+            config=config.replace(shard_backend="workers"),
+            num_shards=NUM_SHARDS)
+        return result, streaming
+
+    # Warm the pipeline (JIT-free, but mmap pages + allocator pools) before
+    # timing, mirroring bench_sharded.
+    runner.run_system(DENSE_QUERY_SET, trace, capacity * 0.5, config=config)
+
+    serial_result, serial_seconds = _timed(_serial)
+    ((worker_result, streaming), worker_seconds), _ = benchmark.pedantic(
+        lambda: (_timed(_workers), None),
+        rounds=1, iterations=1, warmup_rounds=0)
+
+    # Correctness first: same chunk budget, and bit-identical to the
+    # in-process sharded execution of the identical configuration.
+    assert streaming.max_resident <= MAX_RESIDENT_CHUNKS
+    in_process = runner.run_system(
+        DENSE_QUERY_SET, _stream(False), capacity * 0.5, config=config,
+        num_shards=NUM_SHARDS)
+    assert_results_identical(in_process, worker_result, "workers")
+    assert worker_result.total_packets == serial_result.total_packets
+
+    speedup = serial_seconds / worker_seconds
+    print()
+    print(f"serial streamed: {serial_seconds:.2f}s | persistent workers "
+          f"x{NUM_SHARDS}: {worker_seconds:.2f}s | speedup {speedup:.2f}x "
+          f"(required >= {WORKER_MIN_SPEEDUP}x on {CORES} cores) | "
+          f"{store.num_packets:,} packets, prefetched "
+          f"{streaming.prefetched} chunks")
+    record_result("streaming_replay_workers", worker_seconds,
+                  speedup=speedup,
+                  serial_seconds=serial_seconds,
+                  required_speedup=WORKER_MIN_SPEEDUP,
+                  cores=CORES,
+                  num_shards=NUM_SHARDS,
+                  packets=store.num_packets,
+                  prefetched_chunks=streaming.prefetched)
+    assert speedup >= WORKER_MIN_SPEEDUP

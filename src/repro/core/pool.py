@@ -16,10 +16,32 @@ golden tests pin serial/pooled bit-identity.
 from __future__ import annotations
 
 import os
-from typing import Callable, List, Sequence, TypeVar
+from contextlib import contextmanager
+from typing import Callable, Iterator, List, Sequence, TypeVar
 
 _Job = TypeVar("_Job")
 _Result = TypeVar("_Result")
+
+
+@contextmanager
+def pool_state(state: dict, **values) -> Iterator[dict]:
+    """Populate a module-level pre-fork state dict, *guaranteed* cleared.
+
+    Fork-inherited job functions read their inputs from a module global that
+    the caller fills just before the pool map.  That handoff must not leak:
+    if a worker raises, the parent would otherwise keep (and every later
+    fork would inherit) arbitrarily large state — e.g. a whole pre-
+    partitioned stream.  Using this context manager makes clearing
+    exception-safe by construction::
+
+        with pool_state(_POOL_STATE, slices=slices, configs=configs):
+            results = fork_pool_map(job, jobs, n_workers)
+    """
+    state.update(values)
+    try:
+        yield state
+    finally:
+        state.clear()
 
 
 def effective_workers(n_workers: int, n_jobs: int,
@@ -64,4 +86,4 @@ def fork_pool_map(fn: Callable[[_Job], _Result], jobs: Sequence[_Job],
         return list(pool.map(fn, jobs, chunksize=1))
 
 
-__all__ = ["effective_workers", "fork_pool_map"]
+__all__ = ["effective_workers", "fork_pool_map", "pool_state"]

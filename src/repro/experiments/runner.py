@@ -236,6 +236,7 @@ def run_system(query_names: Optional[Sequence] = None,
                query_kwargs: Optional[Dict[str, dict]] = None,
                config: Optional[SystemConfig] = None,
                num_shards: Optional[int] = None,
+               n_workers: int = 1, respect_cores: bool = True,
                **system_kwargs) -> ExecutionResult:
     """Run a freshly-built system over a trace with an explicit capacity.
 
@@ -261,7 +262,11 @@ def run_system(query_names: Optional[Sequence] = None,
     flow-hash partitioned across that many shard pipelines (each owning
     ``1/num_shards`` of the capacity, rebalanced per bin when
     ``config.shard_rebalance`` is set) and the returned result is the
-    merged, stream-global one.
+    merged, stream-global one.  ``n_workers > 1`` asks for process-parallel
+    shard execution on the backend selected by ``config.shard_backend``
+    (``"auto"`` resolves to the persistent shard-worker pool when the host
+    can honour the request); the default ``n_workers=1`` keeps the shards
+    serial in-process.  Results are bit-identical either way.
     """
     if trace is None or cycles_per_second is None:
         # Only query_names is genuinely optional (it may come from the
@@ -281,7 +286,8 @@ def run_system(query_names: Optional[Sequence] = None,
     trace = as_trace(trace)
     if config.num_shards > 1:
         sharded = ShardedSystem(
-            lambda: _make_queries(query_names, query_kwargs), config=config)
+            lambda: _make_queries(query_names, query_kwargs), config=config,
+            n_workers=int(n_workers), respect_cores=bool(respect_cores))
         return sharded.run(trace, time_bin=time_bin)
     queries = _make_queries(query_names, query_kwargs)
     system = MonitoringSystem.from_config(config, queries)

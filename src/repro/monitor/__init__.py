@@ -2,8 +2,8 @@
 
 from . import filters, metrics
 from .capture import BufferStatus, CaptureBuffer
-from .config import (MODES, MODE_ALIASES, ReproDeprecationWarning,
-                     SystemConfig)
+from .config import (MODES, MODE_ALIASES, SHARD_BACKENDS,
+                     ReproDeprecationWarning, SystemConfig)
 from .packet import (PROTO_ICMP, PROTO_TCP, PROTO_UDP, Batch, Packet,
                      PacketTrace, StreamingTrace, as_trace, format_ip, ip)
 from .query import (SAMPLING_CUSTOM, SAMPLING_FLOW, SAMPLING_PACKET, Query,
@@ -12,6 +12,7 @@ from .pipeline import BinPipeline
 from .session import MonitoringSession
 from .sharding import ShardedSession, ShardedSystem
 from .system import (BinRecord, ExecutionResult, MonitoringSystem)
+from .workers import ShardExecutionWarning, ShardWorkerError, ShardWorkerPool
 
 __all__ = [
     "Batch",
@@ -27,6 +28,10 @@ __all__ = [
     "MonitoringSession",
     "MonitoringSystem",
     "ReproDeprecationWarning",
+    "SHARD_BACKENDS",
+    "ShardExecutionWarning",
+    "ShardWorkerError",
+    "ShardWorkerPool",
     "SystemConfig",
     "PROTO_ICMP",
     "PROTO_TCP",

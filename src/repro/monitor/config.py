@@ -33,6 +33,16 @@ MODE_ALIASES = {"no_lshed": "original"}
 #: Valid distinct-counting backends for feature extraction.
 FEATURE_METHODS = ("bitmap", "exact")
 
+#: Valid shard-execution backends (how ``num_shards > 1`` actually runs):
+#: ``"inprocess"`` drives every shard serially in the calling process,
+#: ``"fork"`` is the legacy per-run fork pool (whole stream pre-partitioned,
+#: no rebalancing, no streaming sessions), ``"workers"`` keeps one
+#: persistent worker process per shard fed through shared memory
+#: (:class:`~repro.monitor.workers.ShardWorkerPool`; supports rebalancing
+#: and streaming), and ``"auto"`` picks ``"workers"`` when parallelism was
+#: requested and the host can deliver it, ``"inprocess"`` otherwise.
+SHARD_BACKENDS = ("auto", "inprocess", "fork", "workers")
+
 
 class ReproDeprecationWarning(DeprecationWarning):
     """Deprecation warnings raised by the ``repro`` package.
@@ -90,6 +100,12 @@ class SystemConfig:
     #: Fraction of its base capacity share a shard always retains, so a
     #: momentarily idle shard is never starved below a working minimum.
     shard_rebalance_floor: float = 0.1
+    #: Shard-execution backend, one of :data:`SHARD_BACKENDS`.  ``"auto"``
+    #: (the default) resolves to the persistent worker pool when the caller
+    #: asked for parallelism (``n_workers > 1``) and the host has the cores
+    #: and the ``fork`` start method to honour it, and to in-process
+    #: execution otherwise.
+    shard_backend: str = "auto"
     #: Declarative query mix: a tuple of
     #: :class:`repro.queries.QuerySpec` (anything
     #: :func:`repro.queries.parse_query_specs` accepts — a comma-separated
@@ -147,6 +163,10 @@ class SystemConfig:
              float(self.shard_rebalance_floor))
         if not 0.0 < self.shard_rebalance_floor <= 1.0:
             raise ValueError("shard_rebalance_floor must be in (0, 1]")
+        if self.shard_backend not in SHARD_BACKENDS:
+            raise ValueError(
+                f"unknown shard_backend {self.shard_backend!r}; "
+                f"valid backends: {SHARD_BACKENDS}")
         if self.queries is not None:
             # Deferred import: repro.queries imports the monitor package.
             from ..queries import parse_query_specs
@@ -232,5 +252,6 @@ __all__ = [
     "MODES",
     "MODE_ALIASES",
     "ReproDeprecationWarning",
+    "SHARD_BACKENDS",
     "SystemConfig",
 ]

@@ -59,18 +59,18 @@ class Filter:
         return batch.select(mask)
 
     def __and__(self, other: "Filter") -> "Filter":
-        return Filter(lambda b: self(b) & other(b),
+        return Filter(_Conjunction(self, other),
                       f"({self.name} and {other.name})",
                       cache_key=_combine_keys("and", self, other))
 
     def __or__(self, other: "Filter") -> "Filter":
-        return Filter(lambda b: self(b) | other(b),
+        return Filter(_Disjunction(self, other),
                       f"({self.name} or {other.name})",
                       cache_key=_combine_keys("or", self, other))
 
     def __invert__(self) -> "Filter":
         key = f"not({self.cache_key})" if self.cache_key is not None else None
-        return Filter(lambda b: ~self(b), f"not {self.name}", cache_key=key)
+        return Filter(_Negation(self), f"not {self.name}", cache_key=key)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Filter({self.name})"
@@ -83,35 +83,115 @@ def _combine_keys(op: str, first: Filter, second: Filter) -> Optional[str]:
     return f"{op}({first.cache_key},{second.cache_key})"
 
 
+# The standard predicates are small callable classes rather than lambdas so
+# that filters — and therefore the queries carrying them — pickle cleanly
+# across process boundaries (live query arrivals are shipped to persistent
+# shard workers over a pipe).
+class _Conjunction:
+    def __init__(self, first: Filter, second: Filter) -> None:
+        self.first, self.second = first, second
+
+    def __call__(self, batch: Batch) -> np.ndarray:
+        return self.first(batch) & self.second(batch)
+
+
+class _Disjunction:
+    def __init__(self, first: Filter, second: Filter) -> None:
+        self.first, self.second = first, second
+
+    def __call__(self, batch: Batch) -> np.ndarray:
+        return self.first(batch) | self.second(batch)
+
+
+class _Negation:
+    def __init__(self, inner: Filter) -> None:
+        self.inner = inner
+
+    def __call__(self, batch: Batch) -> np.ndarray:
+        return ~self.inner(batch)
+
+
+class _MatchAll:
+    def __call__(self, batch: Batch) -> np.ndarray:
+        return np.ones(len(batch), dtype=bool)
+
+
+class _MatchNone:
+    def __call__(self, batch: Batch) -> np.ndarray:
+        return np.zeros(len(batch), dtype=bool)
+
+
+class _ProtoEquals:
+    def __init__(self, number: int) -> None:
+        self.number = number
+
+    def __call__(self, batch: Batch) -> np.ndarray:
+        return batch.proto == self.number
+
+
+class _PortEquals:
+    def __init__(self, number: int, direction: str) -> None:
+        self.number, self.direction = number, direction
+
+    def __call__(self, batch: Batch) -> np.ndarray:
+        if self.direction == "src":
+            return batch.src_port == self.number
+        if self.direction == "dst":
+            return batch.dst_port == self.number
+        return (batch.src_port == self.number) | \
+            (batch.dst_port == self.number)
+
+
+class _SubnetMatch:
+    def __init__(self, net: np.uint32, mask: np.uint32,
+                 direction: str) -> None:
+        self.net, self.mask, self.direction = net, mask, direction
+
+    def __call__(self, batch: Batch) -> np.ndarray:
+        src = (batch.src_ip & self.mask) == self.net
+        if self.direction == "src":
+            return src
+        dst = (batch.dst_ip & self.mask) == self.net
+        if self.direction == "dst":
+            return dst
+        return src | dst
+
+
+class _SizeAtLeast:
+    def __init__(self, n_bytes: int) -> None:
+        self.n_bytes = n_bytes
+
+    def __call__(self, batch: Batch) -> np.ndarray:
+        return batch.size >= self.n_bytes
+
+
 def all_packets() -> Filter:
     """Filter that matches every packet (the common default)."""
-    return Filter(lambda b: np.ones(len(b), dtype=bool), "all",
-                  cache_key="all")
+    return Filter(_MatchAll(), "all", cache_key="all")
 
 
 def no_packets() -> Filter:
     """Filter that matches nothing (useful in tests)."""
-    return Filter(lambda b: np.zeros(len(b), dtype=bool), "none",
-                  cache_key="none")
+    return Filter(_MatchNone(), "none", cache_key="none")
 
 
 def proto(number: int) -> Filter:
     """Match packets with the given IP protocol number."""
-    return Filter(lambda b: b.proto == number, f"proto {number}",
+    return Filter(_ProtoEquals(number), f"proto {number}",
                   cache_key=f"proto:{int(number)}")
 
 
 def tcp() -> Filter:
     from .packet import PROTO_TCP
 
-    return Filter(lambda b: b.proto == PROTO_TCP, "tcp",
+    return Filter(_ProtoEquals(PROTO_TCP), "tcp",
                   cache_key=f"proto:{int(PROTO_TCP)}")
 
 
 def udp() -> Filter:
     from .packet import PROTO_UDP
 
-    return Filter(lambda b: b.proto == PROTO_UDP, "udp",
+    return Filter(_ProtoEquals(PROTO_UDP), "udp",
                   cache_key=f"proto:{int(PROTO_UDP)}")
 
 
@@ -120,51 +200,34 @@ def port(number: int, direction: str = "either") -> Filter:
 
     ``direction`` is one of ``"src"``, ``"dst"`` or ``"either"``.
     """
-    if direction == "src":
-        return Filter(lambda b: b.src_port == number, f"src port {number}",
-                      cache_key=f"port:{int(number)}:src")
-    if direction == "dst":
-        return Filter(lambda b: b.dst_port == number, f"dst port {number}",
-                      cache_key=f"port:{int(number)}:dst")
-    if direction == "either":
-        return Filter(
-            lambda b: (b.src_port == number) | (b.dst_port == number),
-            f"port {number}",
-            cache_key=f"port:{int(number)}:either",
-        )
-    raise ValueError(f"unknown direction {direction!r}")
+    if direction not in ("src", "dst", "either"):
+        raise ValueError(f"unknown direction {direction!r}")
+    name = f"port {number}" if direction == "either" else \
+        f"{direction} port {number}"
+    return Filter(_PortEquals(number, direction), name,
+                  cache_key=f"port:{int(number)}:{direction}")
 
 
 def subnet(network: int, prefix_len: int, direction: str = "either") -> Filter:
     """Match packets whose address falls inside ``network/prefix_len``."""
     if not 0 <= prefix_len <= 32:
         raise ValueError("prefix length must be in [0, 32]")
+    if direction not in ("src", "dst", "either"):
+        raise ValueError(f"unknown direction {direction!r}")
     mask_value = (0xFFFFFFFF << (32 - prefix_len)) & 0xFFFFFFFF if prefix_len \
         else 0
     mask = np.uint32(mask_value)
     net = np.uint32(network) & mask
-
-    def match_src(b: Batch) -> np.ndarray:
-        return (b.src_ip & mask) == net
-
-    def match_dst(b: Batch) -> np.ndarray:
-        return (b.dst_ip & mask) == net
-
     name = f"net {network}/{prefix_len}"
-    key = f"subnet:{int(net)}/{int(prefix_len)}"
-    if direction == "src":
-        return Filter(match_src, "src " + name, cache_key=key + ":src")
-    if direction == "dst":
-        return Filter(match_dst, "dst " + name, cache_key=key + ":dst")
-    if direction == "either":
-        return Filter(lambda b: match_src(b) | match_dst(b), name,
-                      cache_key=key + ":either")
-    raise ValueError(f"unknown direction {direction!r}")
+    if direction != "either":
+        name = f"{direction} {name}"
+    key = f"subnet:{int(net)}/{int(prefix_len)}:{direction}"
+    return Filter(_SubnetMatch(net, mask, direction), name, cache_key=key)
 
 
 def size_at_least(n_bytes: int) -> Filter:
     """Match packets whose wire size is at least ``n_bytes``."""
-    return Filter(lambda b: b.size >= n_bytes, f"size >= {n_bytes}",
+    return Filter(_SizeAtLeast(n_bytes), f"size >= {n_bytes}",
                   cache_key=f"size>={int(n_bytes)}")
 
 

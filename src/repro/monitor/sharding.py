@@ -31,27 +31,44 @@ keeps the full budget and the base seed, and every merge reduces to the
 identity — the sharded run is bit-identical to the classic single-system
 run (pinned by ``tests/test_sharding.py``).
 
-Shards can also run on a fork-based process pool
-(:func:`repro.core.pool.fork_pool_map`): the stream is pre-partitioned in
-the parent, workers inherit their slice copy-on-write, execute their shard
-end to end and ship the per-shard result back for merging.  Dynamic
-rebalancing needs a per-bin exchange between shards, so it is only
-available in-process; pooled execution uses the static ``1/N`` split.
+Three shard-execution backends are available (``SystemConfig.shard_backend``
+or the ``backend`` argument):
+
+* ``"inprocess"`` — every shard session runs serially in the caller.
+* ``"workers"`` — one **persistent worker process per shard**
+  (:class:`~repro.monitor.workers.ShardWorkerPool`): each bin's
+  pre-partitioned columnar sub-batch travels through shared memory, per-bin
+  records come back on a result channel, and capacity-rebalance /
+  reconfiguration messages are piggybacked in FIFO order with the batches —
+  so streaming sessions *and* ``shard_rebalance=True`` run on real
+  parallelism, bit-identical to the in-process path.
+* ``"fork"`` — the legacy per-run fork pool
+  (:func:`repro.core.pool.fork_pool_map`): the stream is pre-partitioned in
+  the parent, workers inherit their slice copy-on-write, execute their
+  shard end to end and ship the per-shard result back for merging.  The
+  per-bin capacity exchange is impossible on this backend, so it still
+  requires ``rebalance=False`` and a materialised stream.
+
+``"auto"`` (the default) picks ``"workers"`` when parallelism was requested
+(``n_workers > 1``) and the host can honour it, ``"inprocess"`` otherwise.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..core.cycles import CycleBudget
-from ..core.pool import fork_pool_map
+from ..core.pool import effective_workers, fork_pool_map, pool_state
 from .config import SystemConfig
 from .packet import HEADER_FIELDS, Batch, PacketTrace, as_trace
 from .pipeline import BinRecord
 from .query import Query, QueryResultLog
 from .system import ExecutionResult
+from .workers import (ShardExecutionWarning, ShardWorkerPool,
+                      fork_start_available)
 
 #: Header fields whose combined hash decides a packet's shard: the full
 #: 5-tuple, so a flow's packets always land on the same shard.
@@ -179,15 +196,19 @@ class ShardedSystem:
         is the total capacity, split evenly across shards;
         ``num_shards`` / ``shard_rebalance`` / ``shard_rebalance_floor``
         are read from it unless overridden by the keyword arguments below.
-    num_shards, rebalance, rebalance_floor:
-        Optional overrides of the corresponding config fields.
+    num_shards, rebalance, rebalance_floor, backend:
+        Optional overrides of the corresponding config fields (``backend``
+        overrides ``shard_backend``).
     n_workers:
-        ``> 1`` executes :meth:`run` on a fork pool, one worker per shard
-        (requires ``rebalance=False``; per-bin rebalancing needs shards in
-        one process).  Streaming sessions are always in-process.
+        ``> 1`` asks for process-parallel shard execution.  Under the
+        ``"auto"`` / ``"workers"`` backends this runs shards (including
+        streaming sessions, and including ``rebalance=True``) on the
+        persistent worker pool; under ``"fork"`` it executes :meth:`run` on
+        the legacy per-run fork pool (which still requires
+        ``rebalance=False`` and keeps streaming sessions in-process).
     respect_cores:
-        Clamp the pool to the host's core count (default); pass ``False``
-        to force a real pool on small hosts (benchmarks do).
+        Clamp parallelism to the host's core count (default); pass
+        ``False`` to force real workers on small hosts (benchmarks do).
     """
 
     def __init__(self, query_factory: Optional[Callable[[], List[Query]]] = None,
@@ -196,7 +217,8 @@ class ShardedSystem:
                  rebalance: Optional[bool] = None,
                  rebalance_floor: Optional[float] = None,
                  n_workers: int = 1,
-                 respect_cores: bool = True) -> None:
+                 respect_cores: bool = True,
+                 backend: Optional[str] = None) -> None:
         config = config if config is not None else SystemConfig()
         if num_shards is not None:
             config = config.replace(num_shards=int(num_shards))
@@ -205,17 +227,22 @@ class ShardedSystem:
         if rebalance_floor is not None:
             config = config.replace(
                 shard_rebalance_floor=float(rebalance_floor))
+        if backend is not None:
+            config = config.replace(shard_backend=str(backend))
         self.config = config
         self.num_shards = config.num_shards
         self.rebalance = config.shard_rebalance
         self.rebalance_floor = config.shard_rebalance_floor
+        self.backend = config.shard_backend
         self.n_workers = int(n_workers)
         self.respect_cores = bool(respect_cores)
-        if self.n_workers > 1 and self.rebalance and self.num_shards > 1:
+        if (self.backend == "fork" and self.rebalance
+                and self.num_shards > 1 and self.n_workers > 1):
             raise ValueError(
-                "dynamic capacity rebalancing requires in-process shards; "
-                "pass rebalance=False (or shard_rebalance=False in the "
-                "config) to run shards on a process pool")
+                "dynamic capacity rebalancing is not available on the fork-"
+                "pool backend (it needs a per-bin capacity exchange); pass "
+                "rebalance=False, or use the persistent 'workers' backend, "
+                "which rebalances across processes")
         if query_factory is None:
             if config.queries is None:
                 raise ValueError(
@@ -257,9 +284,47 @@ class ShardedSystem:
                 for name in self.systems[0].query_names}
 
     # ------------------------------------------------------------------
+    def resolve_backend(self) -> str:
+        """The concrete backend this system executes on.
+
+        ``"auto"`` resolves to the persistent worker pool exactly when the
+        caller asked for parallelism (``n_workers > 1``), there is more
+        than one shard, the host's core count can honour the request
+        (unless ``respect_cores=False``), and the ``fork`` start method
+        exists (so lambda query factories are inherited, not pickled).
+        Everything else resolves to in-process execution.
+        """
+        if self.backend != "auto":
+            return self.backend
+        if (self.num_shards > 1
+                and effective_workers(self.n_workers, self.num_shards,
+                                      self.respect_cores) > 1
+                and fork_start_available()):
+            return "workers"
+        return "inprocess"
+
     def open_session(self, time_bin: float = 0.1,
                      name: str = "live") -> "ShardedSession":
-        """Open a push-based sharded session (always in-process)."""
+        """Open a push-based sharded session on the resolved backend.
+
+        With the ``"workers"`` backend the session's shards live in the
+        persistent worker pool; otherwise they run in-process.  A session
+        that asked for parallel workers (``n_workers > 1``) but resolves
+        to in-process execution warns (:class:`ShardExecutionWarning`)
+        instead of silently running serial.
+        """
+        backend = self.resolve_backend()
+        if backend == "workers" and self.num_shards > 1:
+            return ShardedSession(self, time_bin=time_bin, name=name,
+                                  backend="workers")
+        if self.n_workers > 1 and self.num_shards > 1:
+            warnings.warn(
+                f"sharded session {name!r} requested n_workers="
+                f"{self.n_workers} but runs in-process on the "
+                f"{backend!r} backend (the fork backend has no streaming "
+                "sessions; 'auto' found no usable parallelism on this "
+                "host) — pass backend='workers' to force the persistent "
+                "worker pool", ShardExecutionWarning, stacklevel=2)
         return ShardedSession(self, time_bin=time_bin, name=name)
 
     def run(self, trace: PacketTrace, time_bin: float = 0.1
@@ -268,12 +333,15 @@ class ShardedSystem:
 
         ``trace`` may also be a streaming trace or a trace store (anything
         :func:`repro.monitor.packet.as_trace` accepts).  The in-process
-        path streams it bin by bin with bounded memory; the pooled path
-        (``n_workers > 1``) pre-partitions the whole stream in the parent,
-        so it materialises every sub-batch regardless of the source.
+        and persistent-worker paths stream it bin by bin with bounded
+        memory; the legacy fork-pool path pre-partitions the whole stream
+        in the parent, so it materialises every sub-batch regardless of
+        the source.
         """
         trace = as_trace(trace)
-        if self.n_workers > 1 and self.num_shards > 1:
+        backend = self.resolve_backend()
+        if (backend == "fork" and self.n_workers > 1
+                and self.num_shards > 1):
             return self._run_pooled(trace, time_bin)
         session = self.open_session(time_bin=time_bin, name=trace.name)
         return session.ingest_trace(trace).close()
@@ -294,15 +362,12 @@ class ShardedSystem:
             for index, sub in enumerate(batch.partition(self.num_shards,
                                                         FLOW_FIELDS)):
                 slices[index].append(sub)
-        _POOL_STATE.update(
-            configs=self.shard_configs, factory=self.query_factory,
-            slices=slices, time_bin=float(time_bin), name=trace.name)
-        try:
+        with pool_state(_POOL_STATE, configs=self.shard_configs,
+                        factory=self.query_factory, slices=slices,
+                        time_bin=float(time_bin), name=trace.name):
             results = fork_pool_map(
                 _run_shard_job, list(range(self.num_shards)), self.n_workers,
                 respect_cores=self.respect_cores, require_fork=True)
-        finally:
-            _POOL_STATE.clear()
         budget = CycleBudget(self.total_cycles_per_second, float(time_bin))
         return merge_execution_results(results, self.query_classes, budget,
                                        trace.name)
@@ -341,21 +406,45 @@ class ShardedSession:
     and fanned out to the per-shard sessions), reconfigure between bins,
     and :meth:`close` to obtain the merged
     :class:`~repro.monitor.system.ExecutionResult`.
+
+    With ``backend="workers"`` the per-shard sessions live inside one
+    persistent worker process each (:class:`ShardWorkerPool`); every public
+    method keeps exactly the in-process semantics — reconfigurations apply
+    at the next bin boundary, rebalance capacities are computed by the
+    parent from the previous bin's records and shipped before the bin's
+    batches — so the merged results are bit-identical either way.
     """
 
     def __init__(self, sharded: ShardedSystem, time_bin: float = 0.1,
-                 name: str = "live") -> None:
+                 name: str = "live", backend: str = "inprocess") -> None:
+        if backend not in ("inprocess", "workers"):
+            raise ValueError(
+                f"unknown session backend {backend!r}; sharded sessions run "
+                "'inprocess' or on persistent 'workers'")
         self.sharded = sharded
         self.time_bin = float(time_bin)
         self.name = name
         self.num_shards = sharded.num_shards
+        self.backend = backend
         self.budget = CycleBudget(sharded.total_cycles_per_second,
                                   self.time_bin)
         suffix = (lambda i: name) if self.num_shards == 1 else \
             (lambda i: f"{name}[shard{i}]")
-        self.sessions = [system.open_session(time_bin=time_bin,
-                                             name=suffix(index))
-                         for index, system in enumerate(sharded.systems)]
+        if backend == "workers":
+            self.sessions = None
+            self._pool: Optional[ShardWorkerPool] = ShardWorkerPool(
+                sharded.shard_configs, sharded.query_factory,
+                time_bin=self.time_bin,
+                names=[suffix(index) for index in range(self.num_shards)])
+            # Parent-side mirrors of state that otherwise lives in the
+            # shard sessions (the workers own the real thing).
+            self._bins_ingested = 0
+            self._query_names: List[str] = list(sharded.query_names)
+        else:
+            self._pool = None
+            self.sessions = [system.open_session(time_bin=time_bin,
+                                                 name=suffix(index))
+                             for index, system in enumerate(sharded.systems)]
         #: Query class per name, for every query that ever lived in this
         #: session — departed queries keep their logs in the final result,
         #: so their merge implementations must stay resolvable.
@@ -372,10 +461,14 @@ class ShardedSession:
 
     @property
     def bins_ingested(self) -> int:
+        if self._pool is not None:
+            return self._bins_ingested
         return self.sessions[0].bins_ingested
 
     @property
     def query_names(self) -> List[str]:
+        if self._pool is not None:
+            return list(self._query_names)
         return self.sessions[0].query_names
 
     # ------------------------------------------------------------------
@@ -385,9 +478,13 @@ class ShardedSession:
             raise RuntimeError("cannot ingest into a closed session")
         parts = batch.partition(self.num_shards, FLOW_FIELDS)
         if self.sharded.rebalance and self.num_shards > 1:
-            self._rebalance(parts)
-        records = [session.ingest(part)
-                   for session, part in zip(self.sessions, parts)]
+            self._apply_capacities(self._rebalance_capacities(parts))
+        if self._pool is not None:
+            records = self._pool.ingest(parts)
+            self._bins_ingested += 1
+        else:
+            records = [session.ingest(part)
+                       for session, part in zip(self.sessions, parts)]
         for index, (part, record) in enumerate(zip(parts, records)):
             self._prev_load[index] = (len(part), record.total_cycles)
         return merge_bin_records(records)
@@ -398,24 +495,53 @@ class ShardedSession:
         Accepts anything :func:`repro.monitor.packet.as_trace` does; a
         trace store replays out-of-core — each bin is flow-partitioned and
         fanned out to the shards, with peak memory bounded by the streaming
-        trace's chunk cache.  Returns ``self`` for chaining.
+        trace's chunk cache.  A streaming source's cache telemetry is reset
+        first, so every replay reports its own numbers.  Returns ``self``
+        for chaining.
+
+        On the worker backend with rebalancing off, ingestion is
+        *pipelined*: each bin's sub-batches are shipped without waiting for
+        the bin's records (the pool's double buffering bounds the run-ahead
+        to two bins per shard), so partitioning and store I/O overlap shard
+        compute.  Rebalancing needs the previous bin's records to compute
+        capacities, so it runs in lockstep.
         """
-        for batch in as_trace(source).batches(self.time_bin):
-            self.ingest(batch)
+        trace = as_trace(source)
+        reset_stats = getattr(trace, "reset_stats", None)
+        if reset_stats is not None:
+            reset_stats()
+        pipelined = (self._pool is not None
+                     and not (self.sharded.rebalance and self.num_shards > 1))
+        for batch in trace.batches(self.time_bin):
+            if pipelined:
+                if self.closed:
+                    raise RuntimeError("cannot ingest into a closed session")
+                parts = batch.partition(self.num_shards, FLOW_FIELDS)
+                for index, part in enumerate(parts):
+                    self._pool.ingest_async(index, part)
+                self._bins_ingested += 1
+            else:
+                self.ingest(batch)
         return self
 
     def close(self) -> ExecutionResult:
         """Close every shard session and return the merged result."""
         if self._closed_result is not None:
             return self._closed_result
-        results = [session.close() for session in self.sessions]
+        if self._pool is not None:
+            results = self._pool.close()
+        else:
+            results = [session.close() for session in self.sessions]
         self._closed_result = merge_execution_results(
             results, self._query_classes, self.budget, self.name)
         return self._closed_result
 
     def partial_result(self) -> ExecutionResult:
         """Merged accuracy-so-far snapshot (shards keep running)."""
-        results = [session.partial_result() for session in self.sessions]
+        if self._pool is not None:
+            results = self._pool.partial_results()
+        else:
+            results = [session.partial_result() for session in self.sessions]
         return merge_execution_results(results, self._query_classes,
                                        self.budget, self.name)
 
@@ -427,9 +553,18 @@ class ShardedSession:
         """Register a query on every shard (one fresh instance each)."""
         if self.closed:
             raise RuntimeError("cannot reconfigure a closed session")
-        instances = [query_factory() for _ in self.sessions]
-        for session, query in zip(self.sessions, instances):
-            session.add_query(query, start_time=start_time)
+        instances = [query_factory() for _ in range(self.num_shards)]
+        if self._pool is not None:
+            name = instances[0].name
+            if name in self._query_names:
+                raise ValueError(
+                    f"a query named {name!r} is already registered")
+            for shard, query in enumerate(instances):
+                self._pool.add_query(shard, query, start_time=start_time)
+            self._query_names.append(name)
+        else:
+            for session, query in zip(self.sessions, instances):
+                session.add_query(query, start_time=start_time)
         self._query_classes[instances[0].name] = type(instances[0])
 
     def remove_query(self, name: str) -> None:
@@ -440,8 +575,15 @@ class ShardedSession:
         """
         if self.closed:
             raise RuntimeError("cannot reconfigure a closed session")
-        for session in self.sessions:
-            session.remove_query(name)
+        if self._pool is not None:
+            if name not in self._query_names:
+                raise KeyError(f"no query named {name!r} is registered")
+            for shard in range(self.num_shards):
+                self._pool.remove_query(shard, name)
+            self._query_names.remove(name)
+        else:
+            for session in self.sessions:
+                session.remove_query(name)
 
     def set_capacity(self, cycles_per_second: float) -> None:
         """Change the *total* capacity; shards re-split it evenly.
@@ -456,20 +598,35 @@ class ShardedSession:
             raise ValueError("cycles_per_second must be positive")
         self.sharded.total_cycles_per_second = cycles_per_second
         self.budget = CycleBudget(cycles_per_second, self.time_bin)
-        share = cycles_per_second / self.num_shards
-        for session in self.sessions:
-            session.set_capacity(share)
+        self._apply_capacities([cycles_per_second / self.num_shards] *
+                               self.num_shards)
 
     # ------------------------------------------------------------------
-    def _rebalance(self, parts: Sequence[Batch]) -> None:
+    def _apply_capacities(self, capacities: Sequence[float]) -> None:
+        """Queue per-shard capacities (cycles/s), applied next bin boundary.
+
+        Both backends share the queued-at-boundary semantics: in-process
+        sessions queue the change internally; worker commands are FIFO with
+        the batches, so a capacity sent before a bin's batch is applied at
+        exactly that bin's boundary.
+        """
+        if self._pool is not None:
+            for shard, capacity in enumerate(capacities):
+                self._pool.set_capacity(shard, capacity)
+        else:
+            for session, capacity in zip(self.sessions, capacities):
+                session.set_capacity(capacity)
+
+    def _rebalance_capacities(self, parts: Sequence[Batch]) -> List[float]:
         """Lend predicted headroom from underloaded shards to overloaded ones.
 
         Demand per shard is predicted as the previous bin's cycles-per-packet
         times the incoming packet count; shards with no history (or no
         packets last bin) are assumed to need their base share.  Transfers
         conserve total capacity and never push a shard below
-        ``rebalance_floor`` of its base share.  The adjusted capacities are
-        queued with ``set_capacity`` and applied at this bin's boundary,
+        ``rebalance_floor`` of its base share.  The returned capacities
+        (cycles per second, one per shard) are queued with
+        :meth:`_apply_capacities` and applied at this bin's boundary,
         *before* the shard's own predict/shed pipeline runs — so a shard
         granted extra cycles sheds less in the very bin that needs them.
         """
@@ -496,8 +653,7 @@ class ShardedSession:
             ]
         else:
             capacities = [base] * self.num_shards
-        for session, capacity in zip(self.sessions, capacities):
-            session.set_capacity(capacity / self.time_bin)
+        return [capacity / self.time_bin for capacity in capacities]
 
     def rebalance_floor(self) -> float:
         return self.sharded.rebalance_floor
@@ -509,15 +665,21 @@ class ShardedSession:
     def __exit__(self, exc_type, exc_value, traceback) -> None:
         if exc_type is None:
             self.close()
+        elif self._pool is not None:
+            # Never leak worker processes / shared memory past an error.
+            self._pool.stop()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "closed" if self.closed else "open"
         return (f"ShardedSession(shards={self.num_shards}, "
+                f"backend={self.backend!r}, "
                 f"bins={self.bins_ingested}, {state})")
 
 
 __all__ = [
     "FLOW_FIELDS",
+    "ShardExecutionWarning",
+    "ShardWorkerPool",
     "ShardedSession",
     "ShardedSystem",
     "merge_bin_records",

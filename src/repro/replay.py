@@ -79,6 +79,16 @@ def build_parser() -> argparse.ArgumentParser:
                                "capacity (default: %(default)s)")
     parser.add_argument("--num-shards", type=int, default=1,
                         help="flow-hash shards to partition the stream over")
+    parser.add_argument("--backend", default="auto",
+                        choices=("auto", "inprocess", "fork", "workers"),
+                        help="shard-execution backend: 'workers' keeps one "
+                             "persistent process per shard fed through "
+                             "shared memory; 'auto' picks workers when "
+                             "--n-workers asks for parallelism the host "
+                             "can honour (default: %(default)s)")
+    parser.add_argument("--n-workers", type=int, default=1,
+                        help="process parallelism requested for sharded "
+                             "execution (default: %(default)s, serial)")
     parser.add_argument("--time-bin", type=float, default=0.1,
                         help="bin length in seconds (default: %(default)s)")
     parser.add_argument("--chunk-packets", type=int, default=65536,
@@ -87,6 +97,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--max-chunks", type=int, default=8,
                         help="max resident chunks in the streaming LRU "
                              "(default: %(default)s)")
+    parser.add_argument("--prefetch", action="store_true",
+                        help="prefetch the next streaming chunk on a "
+                             "background thread so store I/O overlaps "
+                             "shard compute")
     parser.add_argument("--seed", type=int, default=0,
                         help="system seed (default: %(default)s)")
     parser.add_argument("--json", action="store_true", dest="as_json",
@@ -108,6 +122,8 @@ def _summary(result, trace, args, capacity: float, streaming) -> dict:
             "mode": result.mode,
             "strategy": result.strategy,
             "num_shards": args.num_shards,
+            "backend": args.backend,
+            "n_workers": args.n_workers,
             "cycles_per_second": float(capacity),
             "time_bin": args.time_bin,
         },
@@ -129,6 +145,7 @@ def _summary(result, trace, args, capacity: float, streaming) -> dict:
             "max_resident": streaming.max_resident,
             "cache_hits": streaming.cache_hits,
             "cache_misses": streaming.cache_misses,
+            "prefetched": streaming.prefetched,
         }
     return summary
 
@@ -175,7 +192,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     streaming = None
     if isinstance(source, TraceStore):
         streaming = source.streaming(chunk_packets=args.chunk_packets,
-                                     max_resident_chunks=args.max_chunks)
+                                     max_resident_chunks=args.max_chunks,
+                                     prefetch=args.prefetch)
         trace = streaming
     else:
         trace = source
@@ -204,12 +222,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             # residency/hit telemetry describes that run alone.
             streaming = source.streaming(
                 chunk_packets=args.chunk_packets,
-                max_resident_chunks=args.max_chunks)
+                max_resident_chunks=args.max_chunks,
+                prefetch=args.prefetch)
             trace = streaming
 
+    if args.num_shards > 1:
+        config = config.replace(shard_backend=args.backend)
     result = runner.run_system(None, trace, capacity,
                                time_bin=args.time_bin, config=config,
-                               num_shards=args.num_shards)
+                               num_shards=args.num_shards,
+                               n_workers=args.n_workers)
     summary = _summary(result, trace, args, capacity, streaming)
     if args.as_json:
         print(json.dumps(summary, indent=1))

@@ -410,10 +410,17 @@ class TraceStore:
         return None
 
     def streaming(self, chunk_packets: int = 65536,
-                  max_resident_chunks: int = 8) -> StreamingTrace:
-        """An out-of-core trace view replaying this store chunk by chunk."""
+                  max_resident_chunks: int = 8,
+                  prefetch: bool = False) -> StreamingTrace:
+        """An out-of-core trace view replaying this store chunk by chunk.
+
+        ``prefetch=True`` warms the next chunk on a background thread while
+        the current one is consumed (double buffering), overlapping store
+        I/O with the replay pipeline's compute.
+        """
         return StreamingTrace(self, chunk_packets=chunk_packets,
-                              max_resident_chunks=max_resident_chunks)
+                              max_resident_chunks=max_resident_chunks,
+                              prefetch=prefetch)
 
     def to_trace(self) -> PacketTrace:
         """Materialise the whole store as an in-memory trace."""

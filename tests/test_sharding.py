@@ -178,10 +178,14 @@ class TestPoolTransparency:
         for qname, log in in_process.query_logs.items():
             assert pooled.query_logs[qname].results == log.results
 
-    def test_rebalancing_requires_in_process_shards(self):
+    def test_rebalancing_rejected_on_the_fork_backend(self):
+        """The legacy fork pool has no per-bin capacity exchange, so it
+        still refuses rebalancing; the persistent 'workers' backend (and
+        'auto', which resolves to it) accepts the same request."""
         with pytest.raises(ValueError, match="rebalanc"):
             ShardedSystem(_factory(), num_shards=4, rebalance=True,
-                          n_workers=4)
+                          n_workers=4, backend="fork")
+        ShardedSystem(_factory(), num_shards=4, rebalance=True, n_workers=4)
 
 
 class TestResultMerging:

@@ -1,0 +1,388 @@
+"""Persistent shard workers: transport, lifecycle, and bit-identity.
+
+The contracts under test:
+
+* **Buffer transport** — a :class:`Batch` packed into the canonical column
+  layout and rebuilt from the buffer is bit-identical to the original.
+* **Backend transparency** — a sharded execution on the persistent worker
+  pool is bit-identical to the in-process one in *all four* operating
+  modes, including ``shard_rebalance=True`` (the capability the legacy
+  fork pool never had) and including live reconfiguration mid-stream.
+* **Lifecycle** — close/stop are idempotent, a worker dying mid-stream
+  surfaces a :class:`ShardWorkerError` naming the shard (not a hang), and
+  every shared-memory segment the pool ever created is unlinked by the
+  time it stops — no ``/dev/shm`` leaks, even after failures.
+* **Driver hygiene** — the pre-fork ``_POOL_STATE`` handoff never leaks
+  past an exception, sessions that silently lost their requested
+  parallelism warn instead, and streaming-trace telemetry is reset per
+  replay run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import runner, scenarios
+from repro.monitor import sharding
+from repro.monitor.packet import COLUMN_FIELDS, Batch, column_layout
+from repro.monitor.sharding import ShardedSystem
+from repro.monitor.workers import (ShardExecutionWarning, ShardWorkerError,
+                                   fork_start_available)
+from repro.queries import make_query
+from repro.traffic.trace_io import save_trace_store
+from tests.conftest import make_batch
+
+QUERY_SET = ("counter", "flows", "top-k", "application")
+
+needs_fork = pytest.mark.skipif(
+    not fork_start_available(),
+    reason="persistent shard workers prefer the fork start method")
+
+
+def _factory(names=QUERY_SET):
+    return lambda: [make_query(name) for name in names]
+
+
+@pytest.fixture(scope="module")
+def golden_scenario():
+    """Shared trace plus calibrated capacity for the golden query set."""
+    trace = scenarios.build_workload("cesca", seed=2024, scale=0.15)
+    capacity, reference = runner.calibrate_capacity(QUERY_SET, trace)
+    return trace, capacity, reference
+
+
+def _series_fingerprint(result):
+    return {
+        "query_cycles": result.series("query_cycles"),
+        "mean_rate": result.series("mean_rate"),
+        "dropped_packets": result.series("dropped_packets"),
+        "predicted_cycles": result.series("predicted_cycles"),
+        "delay": result.series("delay"),
+    }
+
+
+def _assert_identical(in_process, workers):
+    serial = _series_fingerprint(in_process)
+    pooled = _series_fingerprint(workers)
+    for name in serial:
+        assert np.array_equal(serial[name], pooled[name]), name
+    assert in_process.total_packets == workers.total_packets
+    assert in_process.dropped_packets == workers.dropped_packets
+    for qname, log in in_process.query_logs.items():
+        assert workers.query_logs[qname].intervals == log.intervals, qname
+        assert workers.query_logs[qname].results == log.results, qname
+
+
+def _attachable(segment_name):
+    from multiprocessing import shared_memory
+    try:
+        handle = shared_memory.SharedMemory(name=segment_name)
+    except FileNotFoundError:
+        return False
+    handle.close()
+    return True
+
+
+# ----------------------------------------------------------------------
+# Column-buffer transport
+# ----------------------------------------------------------------------
+class TestBatchBufferTransport:
+    def test_layout_keeps_every_column_8_byte_aligned(self):
+        columns, total = column_layout(1001)
+        assert [name for name, _, _ in columns] == list(COLUMN_FIELDS)
+        for _, dtype, offset in columns:
+            assert offset % 8 == 0
+        assert total % 8 == 0
+
+    def test_pack_unpack_roundtrip_is_bit_identical(self):
+        batch = make_batch(n=257, seed=11, payloads=True, start_ts=3.4)
+        buffer = bytearray(batch.buffer_nbytes())
+        used = batch.pack_into(buffer)
+        assert used == batch.buffer_nbytes()
+        rebuilt = Batch.from_buffer(buffer, len(batch),
+                                    time_bin=batch.time_bin,
+                                    start_ts=batch.start_ts,
+                                    payloads=batch.payloads, copy=True)
+        for column in COLUMN_FIELDS:
+            original = getattr(batch, column)
+            restored = getattr(rebuilt, column)
+            assert restored.dtype == original.dtype, column
+            assert np.array_equal(restored, original), column
+        assert rebuilt.payloads == batch.payloads
+        assert rebuilt.start_ts == batch.start_ts
+        assert rebuilt.time_bin == batch.time_bin
+
+    def test_copied_views_do_not_alias_the_buffer(self):
+        batch = make_batch(n=64, seed=2)
+        buffer = bytearray(batch.buffer_nbytes())
+        batch.pack_into(buffer)
+        rebuilt = Batch.from_buffer(buffer, len(batch), copy=True)
+        before = rebuilt.src_ip.copy()
+        buffer[:] = b"\x00" * len(buffer)  # worker slot gets repacked
+        assert np.array_equal(rebuilt.src_ip, before)
+
+    def test_pack_rejects_undersized_buffers(self):
+        batch = make_batch(n=100, seed=5)
+        with pytest.raises(ValueError):
+            batch.pack_into(bytearray(batch.buffer_nbytes() - 1))
+
+
+# ----------------------------------------------------------------------
+# Backend transparency (bit-identity)
+# ----------------------------------------------------------------------
+@needs_fork
+class TestWorkerBitIdentity:
+    @pytest.mark.parametrize("mode", ["predictive", "reactive", "original",
+                                      "reference"])
+    def test_workers_match_in_process_with_rebalancing(self, golden_scenario,
+                                                       mode):
+        """All four modes, rebalancing ON — the configuration the legacy
+        fork pool refuses outright runs bit-identically on workers."""
+        trace, capacity, _ = golden_scenario
+        config = runner.system_config(
+            mode=mode, cycles_per_second=capacity * 0.5, seed=99,
+            shard_rebalance=True)
+        in_process = ShardedSystem(_factory(), config=config,
+                                   num_shards=2).run(trace)
+        workers = ShardedSystem(_factory(), config=config, num_shards=2,
+                                backend="workers").run(trace)
+        _assert_identical(in_process, workers)
+
+    def test_pipelined_streaming_matches_lockstep(self, golden_scenario):
+        """Rebalancing off takes the pipelined (run-ahead) ingest path;
+        results must still match the strictly serial in-process replay."""
+        trace, capacity, _ = golden_scenario
+        config = runner.system_config(cycles_per_second=capacity * 0.5,
+                                      shard_rebalance=False, seed=7)
+        in_process = ShardedSystem(_factory(), config=config,
+                                   num_shards=4).run(trace)
+        workers = ShardedSystem(_factory(), config=config, num_shards=4,
+                                backend="workers").run(trace)
+        _assert_identical(in_process, workers)
+
+    def test_streamed_store_with_prefetch_matches_in_memory(self,
+                                                            golden_scenario,
+                                                            tmp_path):
+        """Out-of-core replay (store -> prefetching streaming trace ->
+        worker shards) equals the fully in-memory in-process run."""
+        trace, capacity, _ = golden_scenario
+        store = save_trace_store(trace, tmp_path / "golden")
+        streaming = store.streaming(
+            chunk_packets=max(1, len(trace) // 8), max_resident_chunks=2,
+            prefetch=True)
+        config = runner.system_config(cycles_per_second=capacity * 0.5,
+                                      seed=13)
+        in_memory = ShardedSystem(_factory(), config=config,
+                                  num_shards=2).run(trace)
+        streamed = ShardedSystem(_factory(), config=config, num_shards=2,
+                                 backend="workers").run(streaming)
+        assert streaming.prefetched > 0
+        serial = _series_fingerprint(in_memory)
+        pooled = _series_fingerprint(streamed)
+        for name in serial:
+            assert np.array_equal(serial[name], pooled[name]), name
+
+    def test_live_reconfiguration_matches_in_process(self):
+        """Query departures/arrivals, capacity changes and partial
+        snapshots mid-stream behave identically across backends."""
+        config = runner.system_config(cycles_per_second=5e7, seed=3)
+        batches = [make_batch(n=80, seed=s, start_ts=0.1 * s)
+                   for s in range(24)]
+
+        def drive(backend):
+            sharded = ShardedSystem(_factory(("counter", "flows")),
+                                    config=config, num_shards=2,
+                                    backend=backend)
+            session = sharded.open_session(name="reconfig")
+            for batch in batches[:12]:
+                session.ingest(batch)
+            session.remove_query("flows")
+            session.add_query(lambda: make_query("top-k"))
+            session.set_capacity(4e7)
+            for batch in batches[12:]:
+                session.ingest(batch)
+            partial = session.partial_result()
+            return partial, session.close()
+
+        partial_in, final_in = drive("inprocess")
+        partial_w, final_w = drive("workers")
+        _assert_identical(final_in, final_w)
+        assert set(partial_w.query_logs) == set(partial_in.query_logs)
+        for qname, log in partial_in.query_logs.items():
+            assert partial_w.query_logs[qname].results == log.results
+
+    def test_auto_resolves_to_workers_when_parallelism_requested(self):
+        system = ShardedSystem(_factory(("counter",)), num_shards=2,
+                               n_workers=2, respect_cores=False,
+                               config=runner.system_config())
+        assert system.resolve_backend() == "workers"
+        serial = ShardedSystem(_factory(("counter",)), num_shards=2,
+                               config=runner.system_config())
+        assert serial.resolve_backend() == "inprocess"
+
+
+# ----------------------------------------------------------------------
+# Pool lifecycle
+# ----------------------------------------------------------------------
+@needs_fork
+class TestPoolLifecycle:
+    def _open_worker_session(self, num_shards=2):
+        sharded = ShardedSystem(_factory(("counter",)), num_shards=num_shards,
+                                backend="workers",
+                                config=runner.system_config(
+                                    cycles_per_second=1e9))
+        return sharded.open_session(name="lifecycle")
+
+    def test_close_is_idempotent_and_unlinks_every_segment(self):
+        session = self._open_worker_session()
+        for s in range(6):
+            session.ingest(make_batch(n=120, seed=s, start_ts=0.1 * s))
+        pool = session._pool
+        assert pool.created_segments
+        assert any(_attachable(name) for name in pool.created_segments)
+        first = session.close()
+        assert session.close() is first
+        assert pool.stopped
+        for name in pool.created_segments:
+            assert not _attachable(name), f"segment {name} leaked"
+
+    def test_stop_is_idempotent_and_safe_after_close(self):
+        session = self._open_worker_session()
+        session.ingest(make_batch(n=50, seed=1))
+        session.close()
+        pool = session._pool
+        pool.stop()
+        pool.stop()
+        assert pool.stopped
+
+    def test_worker_death_mid_stream_surfaces_clear_error(self):
+        session = self._open_worker_session()
+        session.ingest(make_batch(n=50, seed=1))
+        pool = session._pool
+        pool._workers[1].process.kill()
+        pool._workers[1].process.join(timeout=10.0)
+        with pytest.raises(ShardWorkerError, match="shard worker 1"):
+            for s in range(2, 12):
+                session.ingest(make_batch(n=50, seed=s, start_ts=0.1 * s))
+        # The failure stops the pool and releases every segment...
+        assert pool.stopped
+        for name in pool.created_segments:
+            assert not _attachable(name), f"segment {name} leaked"
+        # ...and later use reports the failure instead of hanging.
+        with pytest.raises(ShardWorkerError):
+            session.ingest(make_batch(n=50, seed=99))
+
+    def test_closed_worker_session_rejects_use(self):
+        session = self._open_worker_session()
+        session.ingest(make_batch(n=40, seed=2))
+        session.close()
+        with pytest.raises(RuntimeError):
+            session.ingest(make_batch(n=40, seed=3))
+        with pytest.raises(RuntimeError):
+            session.set_capacity(1e6)
+
+    def test_worker_session_validates_queries_in_the_parent(self):
+        session = self._open_worker_session()
+        with pytest.raises(ValueError):
+            session.add_query(lambda: make_query("counter"))  # duplicate
+        with pytest.raises(KeyError):
+            session.remove_query("no-such-query")
+        session.close()
+
+    def test_context_manager_stops_pool_on_error(self):
+        session = self._open_worker_session()
+        with pytest.raises(RuntimeError):
+            with session:
+                raise RuntimeError("boom")
+        assert session._pool.stopped
+        for name in session._pool.created_segments:
+            assert not _attachable(name), f"segment {name} leaked"
+
+
+# ----------------------------------------------------------------------
+# Driver hygiene
+# ----------------------------------------------------------------------
+class TestPoolStateSafety:
+    def test_pool_state_cleared_when_the_pool_map_raises(self, monkeypatch):
+        """A crash inside the fork pool must not leak the pre-partitioned
+        stream into the parent (and into every later fork)."""
+        def exploding_map(*args, **kwargs):
+            assert sharding._POOL_STATE  # populated for the workers
+            raise RuntimeError("worker crashed")
+
+        monkeypatch.setattr(sharding, "fork_pool_map", exploding_map)
+        system = ShardedSystem(
+            _factory(("counter",)), num_shards=2, n_workers=2,
+            respect_cores=False, backend="fork",
+            config=runner.system_config(cycles_per_second=1e9,
+                                        shard_rebalance=False))
+        trace = scenarios.build_workload("cesca", seed=1, scale=0.05)
+        with pytest.raises(RuntimeError, match="worker crashed"):
+            system.run(trace)
+        assert sharding._POOL_STATE == {}
+
+
+class TestExecutionWarnings:
+    def test_session_warns_when_requested_workers_run_in_process(self):
+        system = ShardedSystem(_factory(("counter",)), num_shards=2,
+                               n_workers=4, backend="inprocess",
+                               config=runner.system_config(
+                                   cycles_per_second=1e9))
+        with pytest.warns(ShardExecutionWarning, match="in-process"):
+            session = system.open_session(name="degraded")
+        session.ingest(make_batch(n=30, seed=1))
+        session.close()
+
+    def test_no_warning_when_serial_execution_was_asked_for(self,
+                                                            recwarn):
+        system = ShardedSystem(_factory(("counter",)), num_shards=2,
+                               config=runner.system_config(
+                                   cycles_per_second=1e9))
+        session = system.open_session(name="serial")
+        session.close()
+        assert not [w for w in recwarn
+                    if issubclass(w.category, ShardExecutionWarning)]
+
+
+class TestStreamingTelemetry:
+    @pytest.fixture()
+    def store(self, tmp_path):
+        trace = scenarios.build_workload("cesca", seed=5, scale=0.05)
+        return save_trace_store(trace, tmp_path / "telemetry")
+
+    def test_stats_reset_per_replay_run(self, store):
+        streaming = store.streaming(chunk_packets=max(1, len(store) // 6),
+                                    max_resident_chunks=2)
+        config = runner.system_config(cycles_per_second=1e9)
+        config.build([make_query("counter")]).run(streaming)
+        first = (streaming.cache_hits, streaming.cache_misses,
+                 streaming.max_resident)
+        config.build([make_query("counter")]).run(streaming)
+        second = (streaming.cache_hits, streaming.cache_misses,
+                  streaming.max_resident)
+        assert first == second  # per-run numbers, not accumulated totals
+        assert second[1] > 0
+
+    def test_reset_stats_keeps_cache_contents(self, store):
+        streaming = store.streaming(chunk_packets=max(1, len(store) // 4),
+                                    max_resident_chunks=8)
+        list(streaming.batches(0.1))
+        resident = streaming.resident_chunks
+        streaming.reset_stats()
+        assert (streaming.cache_hits, streaming.cache_misses,
+                streaming.max_resident, streaming.prefetched) == (0, 0, 0, 0)
+        assert streaming.resident_chunks == resident
+
+    def test_prefetch_is_counted_and_bit_identical(self, store):
+        plain = store.streaming(chunk_packets=max(1, len(store) // 6),
+                                max_resident_chunks=3)
+        prefetching = store.streaming(chunk_packets=max(1, len(store) // 6),
+                                      max_resident_chunks=3, prefetch=True)
+        for mine, theirs in zip(plain.batches(0.1), prefetching.batches(0.1)):
+            for column in COLUMN_FIELDS:
+                assert np.array_equal(getattr(mine, column),
+                                      getattr(theirs, column))
+        assert prefetching.prefetched > 0
+        # Prefetched loads are accounted separately, so the hit/miss
+        # telemetry still reflects what the consumer actually requested.
+        assert (prefetching.cache_hits + prefetching.cache_misses
+                + prefetching.prefetched >= plain.cache_misses)
