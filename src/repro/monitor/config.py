@@ -18,8 +18,9 @@ and create a cycle.
 from __future__ import annotations
 
 import dataclasses
+import difflib
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Tuple, Union
+from typing import Any, Callable, Dict, Iterable, Optional, Tuple, Union
 
 from ..core.cycles import CycleBudget
 from ..core.fairness import STRATEGIES
@@ -42,6 +43,24 @@ FEATURE_METHODS = ("bitmap", "exact")
 #: and streaming), and ``"auto"`` picks ``"workers"`` when parallelism was
 #: requested and the host can deliver it, ``"inprocess"`` otherwise.
 SHARD_BACKENDS = ("auto", "inprocess", "fork", "workers")
+
+
+def _unknown_fields_error(unknown: Iterable[str],
+                          valid: Iterable[str]) -> ValueError:
+    """A strict-keys error naming each unknown field with a close match.
+
+    Hot-reload safety: a daemon rejecting ``{"cycles_per_secnod": ...}``
+    must say *which* key is wrong and what was probably meant, because the
+    operator gets the message back over an HTTP error, not a traceback.
+    """
+    valid = sorted(valid)
+    described = []
+    for key in sorted(unknown):
+        matches = difflib.get_close_matches(key, valid, n=1)
+        described.append(f"{key!r} (did you mean {matches[0]!r}?)"
+                         if matches else repr(key))
+    return ValueError(f"unknown SystemConfig field(s) {', '.join(described)}; "
+                      f"valid fields: {valid}")
 
 
 class ReproDeprecationWarning(DeprecationWarning):
@@ -176,10 +195,9 @@ class SystemConfig:
     def replace(self, **changes: Any) -> "SystemConfig":
         """A copy with the given fields changed (and re-validated)."""
         valid = {f.name for f in dataclasses.fields(self)}
-        unknown = sorted(set(changes) - valid)
+        unknown = set(changes) - valid
         if unknown:
-            raise ValueError(f"unknown SystemConfig fields {unknown}; "
-                             f"valid fields: {sorted(valid)}")
+            raise _unknown_fields_error(unknown, valid)
         return dataclasses.replace(self, **changes)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -206,10 +224,9 @@ class SystemConfig:
     def from_dict(cls, data: Dict[str, Any]) -> "SystemConfig":
         """Rebuild a config from :meth:`to_dict` output (strict keys)."""
         valid = {f.name for f in dataclasses.fields(cls)}
-        unknown = sorted(set(data) - valid)
+        unknown = set(data) - valid
         if unknown:
-            raise ValueError(f"unknown SystemConfig fields {unknown}; "
-                             f"valid fields: {sorted(valid)}")
+            raise _unknown_fields_error(unknown, valid)
         return cls(**data)
 
     # ------------------------------------------------------------------

@@ -674,6 +674,9 @@ class StreamingTrace:
         self._chunks: "OrderedDict[int, _TraceChunk]" = OrderedDict()
         self._cache_lock = threading.RLock()
         self._inflight: set = set()
+        #: Live prefetch threads by chunk index; :meth:`close` joins them.
+        self._prefetch_threads: Dict[int, threading.Thread] = {}
+        self._closed = False
         self._layouts: Dict[float, tuple] = {}
         #: Chunk-cache telemetry (the bounded-residency tests read these).
         self.cache_hits = 0
@@ -758,22 +761,49 @@ class StreamingTrace:
         if index >= self.num_chunks:
             return
         with self._cache_lock:
-            if index in self._chunks or index in self._inflight:
+            if (self._closed or index in self._chunks
+                    or index in self._inflight):
                 return
             self._inflight.add(index)
-        threading.Thread(target=self._prefetch_one, args=(index,),
-                         daemon=True).start()
+            thread = threading.Thread(
+                target=self._prefetch_one, args=(index,), daemon=True,
+                name=f"repro-prefetch-{self.name}-{index}")
+            self._prefetch_threads[index] = thread
+        thread.start()
 
     def _prefetch_one(self, index: int) -> None:
         try:
             chunk = self._load_chunk(index)
             with self._cache_lock:
-                if index not in self._chunks:
+                if not self._closed and index not in self._chunks:
                     self._insert_chunk(chunk)
                     self.prefetched += 1
         finally:
             with self._cache_lock:
                 self._inflight.discard(index)
+                self._prefetch_threads.pop(index, None)
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop prefetching and join any in-flight prefetch threads.
+
+        Consumers that abandon iteration mid-trace (a daemon rotating to a
+        newer segment, an erroring replay) call this so no loader thread
+        outlives the trace: scheduling is disabled first, then every
+        in-flight thread is joined (each loads at most one chunk, so the
+        wait is bounded).  Idempotent; the chunk cache stays readable —
+        only background prefetching is shut down.
+        """
+        with self._cache_lock:
+            self._closed = True
+            threads = list(self._prefetch_threads.values())
+        for thread in threads:
+            thread.join(timeout=timeout)
+
+    def __enter__(self) -> "StreamingTrace":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     def _rows(self, lo: int, hi: int) -> tuple:
         """Columns (and payloads) of packet rows ``[lo, hi)`` via chunks."""

@@ -192,6 +192,48 @@ class MonitoringSession:
         result.query_logs = self._collect_logs(snapshot=True)
         return result
 
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict:
+        """Complete execution state, as a serialisable checkpoint payload.
+
+        The session object graph *is* the state — system, queries,
+        predictors, controller, enforcer, RNGs, cycle clock, capture
+        buffer, result logs, bin records and any still-pending
+        reconfigurations are all reachable from ``self`` and all pickle
+        exactly (NumPy generators and arrays round-trip bit for bit).  The
+        caller must serialise the returned payload *immediately* (e.g.
+        ``pickle.dumps``): it aliases live objects, so it is a snapshot
+        only at the moment it is captured.  :mod:`repro.serve.checkpoint`
+        wraps this in a versioned on-disk format.
+        """
+        if self.closed:
+            raise RuntimeError("cannot checkpoint a closed session")
+        return {"kind": "monitoring", "session": self}
+
+    @classmethod
+    def from_state(cls, state: Dict) -> "MonitoringSession":
+        """Rebuild a session from a deserialised :meth:`state_dict` payload.
+
+        The payload must have round-tripped through serialisation (the
+        checkpoint loader's job); the rebuilt session then owns a private
+        copy of every component and resumes bit-identically — ``__init__``
+        is deliberately bypassed, because it would reset the system's
+        accumulated per-execution state.
+        """
+        if state.get("kind") != "monitoring":
+            raise ValueError(
+                f"not a MonitoringSession checkpoint payload: "
+                f"kind={state.get('kind')!r}")
+        session = state["session"]
+        if not isinstance(session, cls):
+            raise TypeError(
+                f"checkpoint payload holds a {type(session).__name__}, "
+                f"expected {cls.__name__}")
+        return session
+
+    # ------------------------------------------------------------------
     def _collect_logs(self, snapshot: bool) -> Dict[str, QueryResultLog]:
         """Departed logs plus live logs; same-named lifetimes concatenated.
 

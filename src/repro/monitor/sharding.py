@@ -383,6 +383,18 @@ class ShardedSystem:
 _POOL_STATE: dict = {}
 
 
+def _no_queries() -> List[Query]:
+    """Placeholder query factory for checkpoint restores.
+
+    A restored :class:`ShardedSession` replaces every freshly built shard
+    session with the checkpointed one, so the instances this factory would
+    produce are discarded immediately — it only exists because
+    :class:`ShardedSystem` requires *a* factory, and it must be a module-
+    level function so spawn-start worker pools can pickle it.
+    """
+    return []
+
+
 def _run_shard_job(shard_index: int) -> ExecutionResult:
     """Run one shard end to end; pure function of the pre-fork state."""
     config = _POOL_STATE["configs"][shard_index]
@@ -471,6 +483,16 @@ class ShardedSession:
             return list(self._query_names)
         return self.sessions[0].query_names
 
+    @property
+    def shard_loads(self) -> List[Optional[Tuple[int, float]]]:
+        """Previous bin's ``(packets, cycles)`` per shard.
+
+        The same observations the rebalancer lends capacity from; exported
+        so operational surfaces (``repro.serve``'s per-shard utilisation
+        metrics) can report shard skew without poking at internals.
+        """
+        return list(self._prev_load)
+
     # ------------------------------------------------------------------
     def ingest(self, batch: Batch) -> BinRecord:
         """Partition one bin's batch, drive every shard, merge the records."""
@@ -535,6 +557,98 @@ class ShardedSession:
         self._closed_result = merge_execution_results(
             results, self._query_classes, self.budget, self.name)
         return self._closed_result
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+    # ------------------------------------------------------------------
+    def state_dict(self) -> Dict:
+        """Complete execution state, as a serialisable checkpoint payload.
+
+        The per-shard :class:`~repro.monitor.session.MonitoringSession`
+        objects carry the real state; on the ``workers`` backend they are
+        copied out of the worker processes at the current bin boundary
+        (the workers keep streaming).  Parent-side mirrors — the previous
+        bin's per-shard loads that seed the rebalancer, the query-class
+        registry that drives result merging, and the possibly
+        ``set_capacity``-adjusted total budget — ride along so a restored
+        session continues bit-identically.  Serialise the payload
+        immediately (it aliases live objects on the in-process backend);
+        :mod:`repro.serve.checkpoint` wraps it in the on-disk format.
+        """
+        if self.closed:
+            raise RuntimeError("cannot checkpoint a closed session")
+        if self._pool is not None:
+            shard_sessions = self._pool.session_states()
+        else:
+            shard_sessions = list(self.sessions)
+        return {
+            "kind": "sharded",
+            "config": self.sharded.config,
+            "time_bin": self.time_bin,
+            "name": self.name,
+            "total_cycles_per_second": self.sharded.total_cycles_per_second,
+            "shard_sessions": shard_sessions,
+            "query_classes": dict(self._query_classes),
+            "prev_load": list(self._prev_load),
+            "bins_ingested": self.bins_ingested,
+            "query_names": list(self.query_names),
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict, n_workers: int = 1,
+                   backend: Optional[str] = None,
+                   respect_cores: bool = True) -> "ShardedSession":
+        """Rebuild a session from a deserialised :meth:`state_dict` payload.
+
+        The execution backend is chosen *at restore time* (``backend`` /
+        ``n_workers``), independently of what the checkpointed run used:
+        the state is backend-agnostic, so a run checkpointed on the
+        ``workers`` pool may resume in-process and vice versa — results
+        stay bit-identical either way.
+        """
+        if state.get("kind") != "sharded":
+            raise ValueError(
+                f"not a ShardedSession checkpoint payload: "
+                f"kind={state.get('kind')!r}")
+        config = state["config"]
+        factory = (config.build_queries if config.queries is not None
+                   else _no_queries)
+        sharded = ShardedSystem(query_factory=factory, config=config,
+                                n_workers=n_workers,
+                                respect_cores=respect_cores,
+                                backend=backend)
+        sharded.total_cycles_per_second = \
+            float(state["total_cycles_per_second"])
+        session = cls.__new__(cls)
+        session.sharded = sharded
+        session.time_bin = float(state["time_bin"])
+        session.name = state["name"]
+        session.num_shards = sharded.num_shards
+        session.budget = CycleBudget(sharded.total_cycles_per_second,
+                                     session.time_bin)
+        session._query_classes = dict(state["query_classes"])
+        session._prev_load = list(state["prev_load"])
+        session._closed_result = None
+        resolved = sharded.resolve_backend()
+        if resolved == "workers" and sharded.num_shards > 1:
+            session.backend = "workers"
+            session.sessions = None
+            session._pool = ShardWorkerPool(
+                sharded.shard_configs, factory,
+                time_bin=session.time_bin,
+                names=[s.name for s in state["shard_sessions"]])
+            try:
+                session._pool.load_sessions(state["shard_sessions"])
+            except BaseException:
+                session._pool.stop()
+                raise
+            session._bins_ingested = int(state["bins_ingested"])
+            session._query_names = list(state["query_names"])
+        else:
+            session.backend = "inprocess"
+            session._pool = None
+            session.sessions = list(state["shard_sessions"])
+        return session
 
     def partial_result(self) -> ExecutionResult:
         """Merged accuracy-so-far snapshot (shards keep running)."""

@@ -164,6 +164,17 @@ def _shard_worker_main(shard_index: int, config, query_factory,
                 session.remove_query(message[1])
             elif kind == "partial":
                 results.send(("partial", message[1], session.partial_result()))
+            elif kind == "state":
+                # Checkpoint capture: ship the whole session back.  Pickling
+                # it over the pipe *is* the snapshot — the parent receives a
+                # private copy while this worker's live session streams on.
+                results.send(("state", message[1], session))
+            elif kind == "load_session":
+                # Checkpoint restore: adopt the session shipped by the
+                # parent (unpickling rebuilt it in this process), replacing
+                # the fresh one built at startup.
+                session = message[2]
+                results.send(("loaded", message[1], True))
             elif kind == "close":
                 results.send(("result", message[1], session.close()))
             elif kind == "detach":
@@ -462,6 +473,42 @@ class ShardWorkerPool:
             seqs.append(worker.seq)
         return [self._await_payload(worker, seq, "partial")
                 for worker, seq in zip(self._workers, seqs)]
+
+    def session_states(self) -> List:
+        """Checkpoint capture: every worker's resident session, copied out.
+
+        FIFO with the batches, so the snapshot lands exactly at a bin
+        boundary; the workers keep streaming afterwards.
+        """
+        self._check_usable()
+        seqs = []
+        for worker in self._workers:
+            worker.seq += 1
+            self._send(worker, ("state", worker.seq))
+            seqs.append(worker.seq)
+        return [self._await_payload(worker, seq, "state")
+                for worker, seq in zip(self._workers, seqs)]
+
+    def load_sessions(self, sessions: Sequence) -> None:
+        """Checkpoint restore: replace every worker's resident session.
+
+        Each worker adopts the session object shipped to it (state built by
+        a prior execution), discarding the fresh one it constructed at
+        startup; the ack keeps the restore synchronous, so the caller may
+        ingest immediately after.
+        """
+        self._check_usable()
+        if len(sessions) != len(self._workers):
+            raise ValueError(
+                f"need one session per shard worker: got {len(sessions)} "
+                f"for {len(self._workers)} workers")
+        seqs = []
+        for worker, session in zip(self._workers, sessions):
+            worker.seq += 1
+            self._send(worker, ("load_session", worker.seq, session))
+            seqs.append(worker.seq)
+        for worker, seq in zip(self._workers, seqs):
+            self._await_payload(worker, seq, "loaded")
 
     def _await_payload(self, worker: _Worker, seq: int, kind: str):
         while True:

@@ -51,6 +51,75 @@ def resolve_query_specs(value: str):
     return parse_query_specs(value)
 
 
+def add_system_args(parser: argparse.ArgumentParser,
+                    with_defaults: bool = True) -> None:
+    """Install the system/sharding flags shared by the repro CLIs.
+
+    ``python -m repro.replay`` and ``python -m repro.serve`` describe the
+    same system — query mix, operating mode, sharding layout, bin length —
+    so the flags live here once.  With ``with_defaults=False`` every
+    default becomes ``None`` (and the help strings stop claiming
+    defaults), which lets a caller overlay *only the flags the user
+    actually typed* onto a config loaded from a file
+    (:func:`apply_system_args` skips ``None``).
+    """
+    def d(value):
+        return value if with_defaults else None
+
+    def h(text):
+        return text + (" (default: %(default)s)" if with_defaults else "")
+
+    parser.add_argument("--queries", default=d("counter,flows,top-k"),
+                        help=h("comma-separated query names, a named mix "
+                               "from repro.experiments.scenarios."
+                               "QUERY_MIXES, or a path to a JSON spec file "
+                               "(a list of names and/or {kind, kwargs, "
+                               "filter} objects)"))
+    parser.add_argument("--mode", default=d("predictive"),
+                        help=h("operating mode"))
+    parser.add_argument("--strategy", default=None,
+                        help="allocation strategy for the predictive mode")
+    parser.add_argument("--predictor", default=None,
+                        help="cycle predictor kind (mlr, slr, ewma)")
+    parser.add_argument("--num-shards", type=int, default=d(1),
+                        help="flow-hash shards to partition the stream over")
+    parser.add_argument("--backend", default=d("auto"),
+                        choices=("auto", "inprocess", "fork", "workers"),
+                        help="shard-execution backend: 'workers' keeps one "
+                             "persistent process per shard fed through "
+                             "shared memory; 'auto' picks workers when "
+                             "--n-workers asks for parallelism the host "
+                             "can honour")
+    parser.add_argument("--n-workers", type=int, default=d(1),
+                        help="process parallelism requested for sharded "
+                             "execution (1 = serial)")
+    parser.add_argument("--time-bin", type=float, default=d(0.1),
+                        help=h("bin length in seconds"))
+    parser.add_argument("--seed", type=int, default=d(0),
+                        help=h("system seed"))
+
+
+def apply_system_args(config, args):
+    """Overlay parsed system flags onto ``config`` (``None`` = keep).
+
+    ``args`` is a namespace produced by an :func:`add_system_args` parser;
+    every flag the user set (non-``None``) replaces the corresponding
+    config field, with ``--queries`` resolved through
+    :func:`resolve_query_specs`.  Returns the (re-validated) config.
+    """
+    overrides = {}
+    if args.queries is not None:
+        overrides["queries"] = resolve_query_specs(args.queries)
+    for flag, config_field in (("mode", "mode"), ("strategy", "strategy"),
+                               ("predictor", "predictor"), ("seed", "seed"),
+                               ("num_shards", "num_shards"),
+                               ("backend", "shard_backend")):
+        value = getattr(args, flag)
+        if value is not None:
+            overrides[config_field] = value
+    return config.replace(**overrides) if overrides else config
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.replay",
@@ -58,18 +127,7 @@ def build_parser() -> argparse.ArgumentParser:
                     "load-shedding monitoring pipeline.")
     parser.add_argument("trace", help="path to a .npz trace or a trace-store "
                                       "directory")
-    parser.add_argument("--queries", default="counter,flows,top-k",
-                        help="comma-separated query names, a named mix from "
-                             "repro.experiments.scenarios.QUERY_MIXES, or a "
-                             "path to a JSON spec file (a list of names "
-                             "and/or {kind, kwargs, filter} objects) "
-                             "(default: %(default)s)")
-    parser.add_argument("--mode", default="predictive",
-                        help="operating mode (default: %(default)s)")
-    parser.add_argument("--strategy", default=None,
-                        help="allocation strategy for the predictive mode")
-    parser.add_argument("--predictor", default=None,
-                        help="cycle predictor kind (mlr, slr, ewma)")
+    add_system_args(parser)
     capacity = parser.add_mutually_exclusive_group()
     capacity.add_argument("--cycles-per-second", type=float, default=None,
                           help="explicit cycle capacity of the host")
@@ -77,20 +135,6 @@ def build_parser() -> argparse.ArgumentParser:
                           help="overload factor K in [0, 1): capacity is "
                                "(1 - K) x the calibrated no-shedding "
                                "capacity (default: %(default)s)")
-    parser.add_argument("--num-shards", type=int, default=1,
-                        help="flow-hash shards to partition the stream over")
-    parser.add_argument("--backend", default="auto",
-                        choices=("auto", "inprocess", "fork", "workers"),
-                        help="shard-execution backend: 'workers' keeps one "
-                             "persistent process per shard fed through "
-                             "shared memory; 'auto' picks workers when "
-                             "--n-workers asks for parallelism the host "
-                             "can honour (default: %(default)s)")
-    parser.add_argument("--n-workers", type=int, default=1,
-                        help="process parallelism requested for sharded "
-                             "execution (default: %(default)s, serial)")
-    parser.add_argument("--time-bin", type=float, default=0.1,
-                        help="bin length in seconds (default: %(default)s)")
     parser.add_argument("--chunk-packets", type=int, default=65536,
                         help="packets per streaming chunk for v2 stores "
                              "(default: %(default)s)")
@@ -101,8 +145,6 @@ def build_parser() -> argparse.ArgumentParser:
                         help="prefetch the next streaming chunk on a "
                              "background thread so store I/O overlaps "
                              "shard compute")
-    parser.add_argument("--seed", type=int, default=0,
-                        help="system seed (default: %(default)s)")
     parser.add_argument("--json", action="store_true", dest="as_json",
                         help="emit the summary as JSON")
     return parser
@@ -200,12 +242,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     # The query mix rides inside the config, so the whole run description
     # round-trips through SystemConfig.to_dict()/from_dict().
-    config = runner.system_config(mode=args.mode, seed=args.seed,
-                                  queries=query_specs)
-    if args.strategy is not None:
-        config = config.replace(strategy=args.strategy)
-    if args.predictor is not None:
-        config = config.replace(predictor=args.predictor)
+    config = apply_system_args(runner.system_config(), args)
 
     if args.cycles_per_second is not None:
         capacity = float(args.cycles_per_second)
@@ -226,8 +263,6 @@ def main(argv: Optional[List[str]] = None) -> int:
                 prefetch=args.prefetch)
             trace = streaming
 
-    if args.num_shards > 1:
-        config = config.replace(shard_backend=args.backend)
     result = runner.run_system(None, trace, capacity,
                                time_bin=args.time_bin, config=config,
                                num_shards=args.num_shards,

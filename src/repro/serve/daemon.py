@@ -1,0 +1,527 @@
+"""The long-lived monitoring daemon: feed in, ops API out.
+
+:class:`MonitorDaemon` turns the push-based session machinery into a
+service.  It owns one session (:class:`~repro.monitor.session.
+MonitoringSession` or a :class:`~repro.monitor.sharding.ShardedSession`
+on any backend), pulls batches from a :class:`~repro.serve.feeds.Feed`
+on the asyncio event loop, and exposes the live-control surface the
+sessions already had — query arrivals and departures, capacity changes,
+partial results — over the HTTP ops API (:mod:`repro.serve.api`),
+plus the two things only a daemon needs: periodic checkpoints
+(:mod:`repro.serve.checkpoint`) and optional rotation of the ingested
+traffic into v2 trace stores for post-hoc analysis.
+
+Concurrency model: one writer, many readers, one lock.  Ingest runs on
+the default executor (NumPy releases the GIL for the heavy parts, so ops
+requests stay responsive), and every session-touching operation —
+ingest, reconfiguration, snapshot, checkpoint — holds ``self._lock``, so
+ops always observe the session *between* bins, which is exactly the
+bin-boundary semantics the sessions define anyway.
+
+Shutdown is graceful by design: SIGTERM (or :meth:`stop`, or ``POST
+/shutdown``) stops the feed, the in-flight bin completes, a final
+checkpoint is written, trace rotation flushes, the session closes (worker
+pools and all), and :meth:`run` returns the final
+:class:`~repro.monitor.system.ExecutionResult` — the same object an
+offline run would have produced.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..monitor.config import SystemConfig
+from ..monitor.session import MonitoringSession
+from ..monitor.sharding import ShardedSession, ShardedSystem
+from ..monitor.system import ExecutionResult
+from ..queries import parse_query_specs
+from ..traffic.trace_io import TraceWriter
+from .api import OpsError, OpsServer
+from .checkpoint import save_checkpoint
+from .feeds import Feed
+
+__all__ = ["MonitorDaemon"]
+
+#: Config fields that can change while the session is running.  Everything
+#: else (mode, strategy, predictor, sharding layout, ...) is baked into
+#: per-execution state and needs a restart (or a checkpoint/restore cycle).
+LIVE_CONFIG_FIELDS = ("cycles_per_second",)
+
+
+class MonitorDaemon:
+    """One monitoring session, one feed, one ops API, run as a service.
+
+    Parameters
+    ----------
+    config:
+        Full :class:`SystemConfig` including a declarative ``queries``
+        mix.  When ``session`` is given (a checkpoint restore), may be
+        ``None`` — it is recovered from the session where possible.
+    feed:
+        The :class:`~repro.serve.feeds.Feed` to ingest.
+    host, port:
+        Ops API bind address (port 0 picks a free port; see
+        :attr:`bound_port`).
+    n_workers, respect_cores:
+        Shard-execution parallelism, as in
+        :class:`~repro.monitor.sharding.ShardedSystem`.
+    checkpoint_dir, checkpoint_every_bins:
+        Write ``checkpoint.pkl`` into ``checkpoint_dir`` every N bins
+        (0 = only at shutdown) — plus always once at shutdown.
+    rotate_dir, rotate_every_bins:
+        Append every ingested batch to a v2 trace store under
+        ``rotate_dir``, starting a new ``segment-NNNNNN`` store every N
+        bins.
+    session:
+        A restored session to resume instead of building a fresh one.
+    reference:
+        Optional reference :class:`ExecutionResult` for the same traffic;
+        when given, ``/status`` reports accuracy-so-far per query.
+    max_bins:
+        Stop after ingesting this many bins (soak-test horizon).
+    """
+
+    def __init__(self, config: Optional[SystemConfig], feed: Feed, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 n_workers: int = 1, respect_cores: bool = True,
+                 checkpoint_dir: Optional[Union[str, Path]] = None,
+                 checkpoint_every_bins: int = 0,
+                 rotate_dir: Optional[Union[str, Path]] = None,
+                 rotate_every_bins: int = 600,
+                 name: str = "serve",
+                 session: Optional[Union[MonitoringSession,
+                                         ShardedSession]] = None,
+                 reference: Optional[ExecutionResult] = None,
+                 max_bins: Optional[int] = None) -> None:
+        self.feed = feed
+        self.name = name
+        self.n_workers = int(n_workers)
+        self.respect_cores = bool(respect_cores)
+        self.reference = reference
+        self.max_bins = max_bins if max_bins is None else int(max_bins)
+        self.checkpoint_dir = (None if checkpoint_dir is None
+                               else Path(checkpoint_dir))
+        self.checkpoint_every_bins = int(checkpoint_every_bins)
+        self.rotate_dir = None if rotate_dir is None else Path(rotate_dir)
+        self.rotate_every_bins = int(rotate_every_bins)
+        if self.rotate_every_bins < 1:
+            raise ValueError("rotate_every_bins must be >= 1")
+
+        if session is None:
+            if config is None:
+                raise ValueError("MonitorDaemon needs a config (or a "
+                                 "restored session)")
+            if config.queries is None:
+                raise ValueError(
+                    "a daemon's config must carry a declarative 'queries' "
+                    "mix (e.g. SystemConfig(queries='counter,flows')) — "
+                    "query instances cannot be reconstructed at restore")
+            session = self._build_session(config)
+        elif config is None:
+            config = self._recover_config(session)
+        self.config = config
+        self.session = session
+
+        self._api = OpsServer(self, host=host, port=port)
+        self._lock = threading.Lock()
+        self._stopping = False
+        self._started_monotonic: Optional[float] = None
+        self._started_unix: Optional[float] = None
+        self.result: Optional[ExecutionResult] = None
+
+        # Running counters, updated under the lock after every bin.
+        self._packets = 0
+        self._bytes = 0
+        self._dropped = 0
+        self._unsampled = 0.0
+        self._shed_bins = 0
+        self._prediction_error_sum = 0.0
+        self._predicted_bins = 0
+        self._last_record = None
+        self._checkpoints_written = 0
+        self.checkpoint_path: Optional[Path] = None
+
+        # Trace rotation state.
+        self._writer: Optional[TraceWriter] = None
+        self._writer_bins = 0
+        self._rotated_segments = 0
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def _build_session(self, config: SystemConfig
+                       ) -> Union[MonitoringSession, ShardedSession]:
+        if config.num_shards > 1:
+            sharded = ShardedSystem(config=config, n_workers=self.n_workers,
+                                    respect_cores=self.respect_cores)
+            return sharded.open_session(time_bin=self.feed.time_bin,
+                                        name=self.name)
+        system = config.build()
+        return system.open_session(time_bin=self.feed.time_bin,
+                                   name=self.name)
+
+    @staticmethod
+    def _recover_config(session) -> Optional[SystemConfig]:
+        if isinstance(session, ShardedSession):
+            return session.sharded.config
+        return getattr(session.system, "config", None)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def bound_port(self) -> int:
+        """The ops API port actually bound (after :meth:`run` starts)."""
+        return self._api.bound_port
+
+    @property
+    def bins_ingested(self) -> int:
+        return self.session.bins_ingested
+
+    @property
+    def uptime_seconds(self) -> float:
+        if self._started_monotonic is None:
+            return 0.0
+        return time.monotonic() - self._started_monotonic
+
+    # ------------------------------------------------------------------
+    # The ingest loop
+    # ------------------------------------------------------------------
+    async def run(self) -> ExecutionResult:
+        """Serve until the feed ends or the daemon is stopped.
+
+        Starts the ops API, installs signal handlers, streams the feed
+        through the session one bin at a time, and on the way out writes a
+        final checkpoint, flushes trace rotation and closes the session.
+        Returns the final merged :class:`ExecutionResult`.
+        """
+        loop = asyncio.get_running_loop()
+        self._started_monotonic = time.monotonic()
+        self._started_unix = time.time()
+        installed = []
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, self.stop)
+                installed.append(signum)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-main thread or unsupported platform
+        await self._api.start()
+        try:
+            async for batch in self.feed.batches():
+                if self._stopping:
+                    break
+                await loop.run_in_executor(None, self._ingest_one, batch)
+                if (self.max_bins is not None
+                        and self.bins_ingested >= self.max_bins):
+                    break
+        finally:
+            for signum in installed:
+                loop.remove_signal_handler(signum)
+            self.feed.stop()
+            await self._api.stop()
+            await loop.run_in_executor(None, self._shutdown)
+        return self.result
+
+    def stop(self) -> None:
+        """Begin a graceful shutdown (signal-handler and ops-API safe)."""
+        self._stopping = True
+        self.feed.stop()
+
+    def _ingest_one(self, batch) -> None:
+        with self._lock:
+            if self.session.closed:
+                return
+            record = self.session.ingest(batch)
+            self._packets += record.incoming_packets
+            self._bytes += record.incoming_bytes
+            self._dropped += record.dropped_packets
+            self._unsampled += record.unsampled_packets
+            if record.dropped_packets > 0 or (record.rates and
+                                              record.mean_rate < 1.0):
+                self._shed_bins += 1
+            if record.predicted_cycles > 0:
+                actual = record.query_cycles
+                self._prediction_error_sum += (
+                    abs(record.predicted_cycles - actual)
+                    / max(actual, 1.0))
+                self._predicted_bins += 1
+            self._last_record = record
+            if self.rotate_dir is not None:
+                self._rotate_append(batch)
+            if (self.checkpoint_dir is not None
+                    and self.checkpoint_every_bins > 0
+                    and self.bins_ingested % self.checkpoint_every_bins == 0):
+                self._checkpoint_locked()
+
+    def _shutdown(self) -> None:
+        with self._lock:
+            if not self.session.closed and self.checkpoint_dir is not None:
+                self._checkpoint_locked()
+            if self._writer is not None:
+                self._writer.close()
+                self._writer = None
+            self.result = self.session.close()
+
+    # ------------------------------------------------------------------
+    # Trace rotation
+    # ------------------------------------------------------------------
+    def _rotate_append(self, batch) -> None:
+        if self._writer is not None \
+                and self._writer_bins >= self.rotate_every_bins:
+            self._writer.close()
+            self._writer = None
+        if self._writer is None:
+            segment = self.rotate_dir / \
+                f"segment-{self._rotated_segments:06d}"
+            self._writer = TraceWriter(
+                segment, name=f"{self.name}-{self._rotated_segments:06d}",
+                with_payloads=batch.payloads is not None,
+                time_bin=self.feed.time_bin)
+            self._rotated_segments += 1
+            self._writer_bins = 0
+        if len(batch) > 0:
+            self._writer.append(batch)
+        self._writer_bins += 1
+
+    # ------------------------------------------------------------------
+    # Ops (called from the API handlers; each locks around the session)
+    # ------------------------------------------------------------------
+    def add_query(self, spec) -> Dict:
+        """Register a query (spec dict / name) at the next bin boundary."""
+        parsed = parse_query_specs([spec])[0]
+        with self._lock:
+            if isinstance(self.session, ShardedSession):
+                self.session.add_query(parsed.build)
+            else:
+                self.session.add_query(parsed.build())
+        return {"added": parsed.instance_name, "spec": parsed.to_dict()}
+
+    def remove_query(self, name: str) -> Dict:
+        with self._lock:
+            self.session.remove_query(name)
+        return {"removed": name}
+
+    def set_capacity(self, cycles_per_second: float) -> Dict:
+        cycles_per_second = float(cycles_per_second)
+        with self._lock:
+            self.session.set_capacity(cycles_per_second)
+        if self.config is not None:
+            self.config = self.config.replace(
+                cycles_per_second=cycles_per_second)
+        return {"cycles_per_second": cycles_per_second}
+
+    def apply_config(self, changes: Dict) -> Dict:
+        """Hot-reload config fields that are live-applicable.
+
+        ``changes`` is a partial config dict.  It is validated by merging
+        onto the current config (so typos get the did-you-mean treatment
+        of ``SystemConfig.from_dict``), then every actually-changed field
+        must be in :data:`LIVE_CONFIG_FIELDS` — anything else is rejected
+        with an error naming the offending fields, because it could not
+        take effect without restarting the execution.
+        """
+        if not isinstance(changes, dict):
+            raise OpsError(400, "config payload must be a JSON object")
+        if self.config is None:
+            raise OpsError(409, "this daemon has no config to reload "
+                                "(restored session without one)")
+        merged = dict(self.config.to_dict())
+        merged.update(changes)
+        candidate = SystemConfig.from_dict(merged)  # strict keys + validation
+        changed = [key for key in changes
+                   if getattr(candidate, key) != getattr(self.config, key)]
+        dead = sorted(set(changed) - set(LIVE_CONFIG_FIELDS))
+        if dead:
+            raise OpsError(
+                400, f"config field(s) {dead} cannot change while the "
+                     f"session is running; live-applicable fields: "
+                     f"{sorted(LIVE_CONFIG_FIELDS)} (restart, or "
+                     "checkpoint/restore, to change the rest)")
+        applied = {}
+        for key in changed:
+            if key == "cycles_per_second":
+                self.set_capacity(candidate.cycles_per_second)
+                applied[key] = candidate.cycles_per_second
+        return {"applied": applied,
+                "unchanged": sorted(set(changes) - set(changed))}
+
+    def checkpoint_now(self) -> Dict:
+        if self.checkpoint_dir is None:
+            raise OpsError(409, "daemon started without --checkpoint-dir")
+        with self._lock:
+            if self.session.closed:
+                raise OpsError(409, "session already closed")
+            path = self._checkpoint_locked()
+        return {"checkpoint": str(path),
+                "bins_ingested": self.bins_ingested}
+
+    def _checkpoint_locked(self) -> Path:
+        path = self.checkpoint_dir / "checkpoint.pkl"
+        save_checkpoint(self.session, path)
+        self.checkpoint_path = path
+        self._checkpoints_written += 1
+        return path
+
+    # ------------------------------------------------------------------
+    # Read-side ops
+    # ------------------------------------------------------------------
+    def partial_result(self) -> ExecutionResult:
+        with self._lock:
+            if self.session.closed:
+                return self.result
+            return self.session.partial_result()
+
+    def status(self) -> Dict:
+        """The ``/status`` document: health, throughput, per-query state."""
+        snapshot = self.partial_result()
+        queries = {}
+        accuracies = {}
+        if self.reference is not None:
+            from ..experiments.runner import accuracy_by_query
+            accuracies = accuracy_by_query(snapshot, self.reference)
+        for qname, log in snapshot.query_logs.items():
+            rates = snapshot.rate_series(qname)
+            queries[qname] = {
+                "intervals": len(log.intervals),
+                "mean_sampling_rate": (float(np.mean(rates)) if len(rates)
+                                       else 1.0),
+            }
+            if qname in accuracies:
+                queries[qname]["accuracy_so_far"] = float(accuracies[qname])
+        total = self._packets
+        mode = self.config.mode if self.config is not None \
+            else snapshot.mode
+        return {
+            "name": self.name,
+            "mode": mode,
+            "num_shards": (self.config.num_shards
+                           if self.config is not None else 1),
+            "uptime_seconds": self.uptime_seconds,
+            "started_unix": self._started_unix,
+            "bins_ingested": self.bins_ingested,
+            "time_bin": self.feed.time_bin,
+            "packets": total,
+            "bytes": self._bytes,
+            "dropped_packets": self._dropped,
+            "shed_fraction": (self._dropped / total) if total else 0.0,
+            "shed_bins": self._shed_bins,
+            "mean_prediction_error": (
+                self._prediction_error_sum / self._predicted_bins
+                if self._predicted_bins else 0.0),
+            "checkpoints_written": self._checkpoints_written,
+            "checkpoint_path": (str(self.checkpoint_path)
+                                if self.checkpoint_path else None),
+            "stopping": self._stopping,
+            "closed": self.session.closed,
+            "feed": {
+                "kind": self.feed.kind,
+                "name": self.feed.name,
+                "lag_seconds": self.feed.lag_seconds,
+                "idle": self.feed.idle,
+                "done": self.feed.done,
+            },
+            "queries": queries,
+        }
+
+    def result_document(self) -> Dict:
+        """The ``/result`` document: a JSON view of the partial result."""
+        snapshot = self.partial_result()
+        return {
+            "mode": snapshot.mode,
+            "strategy": snapshot.strategy,
+            "trace_name": snapshot.trace_name,
+            "bins": len(snapshot.bins),
+            "total_packets": snapshot.total_packets,
+            "dropped_packets": snapshot.dropped_packets,
+            "drop_fraction": snapshot.drop_fraction,
+            "mean_sampling_rate": snapshot.mean_sampling_rate(),
+            "query_logs": {
+                qname: {
+                    "intervals": [float(start) for start in log.intervals],
+                    "results": [_result_value(value)
+                                for value in log.results],
+                }
+                for qname, log in snapshot.query_logs.items()
+            },
+        }
+
+    def metric_families(self) -> List[Dict]:
+        """The ``/metrics`` content, as renderer-ready metric families."""
+        record = self._last_record
+        families = [
+            _family("repro_uptime_seconds", "gauge",
+                    "Seconds since the daemon started",
+                    [({}, self.uptime_seconds)]),
+            _family("repro_bins_ingested_total", "counter",
+                    "Time bins ingested", [({}, self.bins_ingested)]),
+            _family("repro_packets_total", "counter",
+                    "Packets offered to the monitor", [({}, self._packets)]),
+            _family("repro_bytes_total", "counter",
+                    "Bytes offered to the monitor", [({}, self._bytes)]),
+            _family("repro_dropped_packets_total", "counter",
+                    "Packets dropped by load shedding",
+                    [({}, self._dropped)]),
+            _family("repro_unsampled_packets_total", "counter",
+                    "Effective packets lost to sampling",
+                    [({}, self._unsampled)]),
+            _family("repro_shed_bins_total", "counter",
+                    "Bins in which load shedding was active",
+                    [({}, self._shed_bins)]),
+            _family("repro_checkpoints_total", "counter",
+                    "Checkpoints written",
+                    [({}, self._checkpoints_written)]),
+            _family("repro_feed_lag_seconds", "gauge",
+                    "Seconds the feed trails its delivery schedule",
+                    [({}, self.feed.lag_seconds)]),
+            _family("repro_mean_prediction_error", "gauge",
+                    "Mean relative cycle-prediction error",
+                    [({}, self._prediction_error_sum / self._predicted_bins
+                      if self._predicted_bins else 0.0)]),
+        ]
+        if record is not None:
+            families.append(_family(
+                "repro_bin_sampling_rate", "gauge",
+                "Last bin's sampling rate per query",
+                [({"query": qname}, rate)
+                 for qname, rate in sorted(record.rates.items())]))
+            families.append(_family(
+                "repro_bin_delay_seconds", "gauge",
+                "Capture-buffer delay after the last bin",
+                [({}, record.delay)]))
+        if isinstance(self.session, ShardedSession):
+            samples = []
+            for shard, load in enumerate(self.session.shard_loads):
+                if load is not None:
+                    samples.append(({"shard": str(shard)}, float(load[1])))
+            if samples:
+                families.append(_family(
+                    "repro_shard_cycles", "gauge",
+                    "Cycles each shard spent in the previous bin", samples))
+        return families
+
+
+def _family(name: str, kind: str, help_text: str, samples) -> Dict:
+    return {"name": name, "type": kind, "help": help_text,
+            "samples": samples}
+
+
+def _result_value(value):
+    """A query-log result value as JSON-able data (best effort)."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(k): _result_value(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_result_value(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)

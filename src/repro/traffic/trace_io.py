@@ -168,6 +168,19 @@ class _ColumnWriter:
         arr.tofile(self._fh)
         self.count += len(arr)
 
+    def flush(self) -> None:
+        """Publish the rows appended so far without closing the file.
+
+        The header is patched with the current count (so a reader opening
+        the file now sees a complete array of everything flushed) and the
+        write position restored, ready for further appends.
+        """
+        position = self._fh.tell()
+        self._fh.seek(0)
+        self._fh.write(_npy_header(self.dtype, self.count))
+        self._fh.seek(position)
+        self._fh.flush()
+
     def close(self) -> None:
         self._fh.seek(0)
         self._fh.write(_npy_header(self.dtype, self.count))
@@ -295,15 +308,8 @@ class TraceWriter:
         bounds = base + np.searchsorted(ts, edges)
         self._bounds.extend(int(bound) for bound in bounds)
 
-    def close(self) -> "TraceStore":
-        """Finalise headers, write the manifest and open the store."""
-        if self._store is not None:
-            return self._store
+    def _manifest(self, complete: bool) -> dict:
         count = self.num_packets
-        for writer in self._columns.values():
-            writer.close()
-        for writer in self._payload_writers.values():
-            writer.close()
         bin_index = None
         if count > 0:
             n_bins = int(np.floor((self._last_ts - self._first_ts) /
@@ -312,7 +318,7 @@ class TraceWriter:
             while len(bounds) < n_bins + 1:
                 bounds.append(count)
             bin_index = {"time_bin": self.time_bin, "bounds": bounds}
-        manifest = {
+        return {
             "format": "repro-trace-store",
             "version": STORE_VERSION,
             "name": self.name,
@@ -324,9 +330,45 @@ class TraceWriter:
             "start_ts": self._first_ts,
             "end_ts": self._last_ts,
             "bin_index": bin_index,
+            "complete": bool(complete),
         }
+
+    def _write_manifest(self, manifest: dict) -> None:
+        """Atomic manifest publication: readers see old or new, never half."""
         manifest_path = self.path / MANIFEST_NAME
-        manifest_path.write_text(json.dumps(manifest, indent=1))
+        tmp_path = self.path / (MANIFEST_NAME + ".tmp")
+        tmp_path.write_text(json.dumps(manifest, indent=1))
+        tmp_path.replace(manifest_path)
+
+    def flush(self) -> None:
+        """Publish everything appended so far while keeping the store open.
+
+        Column headers are patched with the current counts and a manifest
+        marked ``"complete": false`` is written atomically, so a concurrent
+        reader (e.g. :class:`repro.serve.feeds.TailFeed`) can open the
+        growing store and replay the bins written so far; appends continue
+        afterwards.  :meth:`close` publishes the final manifest with
+        ``"complete": true``.
+        """
+        if self._store is not None:
+            raise RuntimeError("cannot flush a closed TraceWriter")
+        if self.num_packets == 0:
+            return
+        for writer in self._columns.values():
+            writer.flush()
+        for writer in self._payload_writers.values():
+            writer.flush()
+        self._write_manifest(self._manifest(complete=False))
+
+    def close(self) -> "TraceStore":
+        """Finalise headers, write the manifest and open the store."""
+        if self._store is not None:
+            return self._store
+        for writer in self._columns.values():
+            writer.close()
+        for writer in self._payload_writers.values():
+            writer.close()
+        self._write_manifest(self._manifest(complete=True))
         self._store = TraceStore(self.path)
         return self._store
 
@@ -368,6 +410,10 @@ class TraceStore:
         self.name = manifest["name"]
         self.num_packets = int(manifest["num_packets"])
         self.has_payloads = bool(manifest["has_payloads"])
+        #: ``False`` while the store is still being written (its writer
+        #: published an incremental :meth:`TraceWriter.flush` manifest);
+        #: manifests predating the flag are final by construction.
+        self.complete = bool(manifest.get("complete", True))
         self._mmaps: dict = {}
 
     def __len__(self) -> int:

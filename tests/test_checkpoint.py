@@ -1,0 +1,230 @@
+"""Checkpoint/restore: bit-identical resume across modes and backends.
+
+The contract under test: checkpoint a streaming session at bin ``k``,
+restore it (same process, different backend, or from a file on disk),
+feed it the remaining bins, and the final ``ExecutionResult`` is
+bit-identical to the uninterrupted run's — per-bin accounting series,
+interval boundaries and query results alike.  Pending (not yet applied)
+reconfigurations are part of the state and fire at the restored
+session's next bin, exactly as they would have.
+"""
+
+import pickle
+
+import pytest
+
+from repro.experiments import runner
+from repro.monitor.sharding import ShardedSystem
+from repro.monitor.workers import fork_start_available
+from repro.queries import make_query
+from repro.serve.checkpoint import (CHECKPOINT_FORMAT, capture,
+                                    describe_checkpoint, load_checkpoint,
+                                    restore_session, save_checkpoint)
+from repro.testing import assert_results_identical
+
+MODES = ("predictive", "reactive", "original", "reference")
+QUERIES = "counter,flows"
+CAPACITY = 2.0e7
+
+needs_fork = pytest.mark.skipif(
+    not fork_start_available(),
+    reason="persistent shard workers prefer the fork start method")
+
+
+def _config(mode, num_shards=1, **overrides):
+    return runner.system_config(mode=mode, seed=5, queries=QUERIES,
+                                cycles_per_second=CAPACITY,
+                                num_shards=num_shards, **overrides)
+
+
+def _open_session(config, n_workers=1, backend=None, name="ckpt"):
+    if config.num_shards > 1:
+        sharded = ShardedSystem(config=config, n_workers=n_workers,
+                                respect_cores=False, backend=backend)
+        return sharded.open_session(time_bin=0.1, name=name)
+    return config.build().open_session(time_bin=0.1, name=name)
+
+
+def _run_uninterrupted(config, bins):
+    session = _open_session(config)
+    for batch in bins:
+        session.ingest(batch)
+    return session.close()
+
+
+@pytest.mark.parametrize("mode", MODES)
+@pytest.mark.parametrize("num_shards", (1, 4))
+def test_round_trip_bit_identical(small_trace, mode, num_shards):
+    """Checkpoint at bin k, restore, finish: identical to uninterrupted."""
+    config = _config(mode, num_shards=num_shards)
+    bins = small_trace.batch_list(0.1)
+    k = len(bins) // 2
+    expected = _run_uninterrupted(config, bins)
+
+    session = _open_session(config)
+    for batch in bins[:k]:
+        session.ingest(batch)
+    blob = capture(session)
+    restored = restore_session(blob)
+    assert restored.bins_ingested == k
+    for batch in bins[k:]:
+        restored.ingest(batch)
+    assert_results_identical(expected, restored.close(),
+                             label=f"{mode}/shards={num_shards}")
+
+
+@pytest.mark.parametrize("num_shards", (1, 4))
+def test_pending_ops_survive_checkpoint(small_trace, num_shards):
+    """Queued add/capacity ops fire at the restored session's next bin."""
+    config = _config("predictive", num_shards=num_shards)
+    bins = small_trace.batch_list(0.1)
+    k = len(bins) // 2
+
+    def reconfigure(session):
+        if config.num_shards > 1:
+            session.add_query(lambda: make_query("top-k"))
+        else:
+            session.add_query(make_query("top-k"))
+        session.set_capacity(CAPACITY * 0.7)
+
+    expected_session = _open_session(config)
+    for batch in bins[:k]:
+        expected_session.ingest(batch)
+    reconfigure(expected_session)
+    for batch in bins[k:]:
+        expected_session.ingest(batch)
+    expected = expected_session.close()
+    assert "top-k" in expected.query_logs
+
+    session = _open_session(config)
+    for batch in bins[:k]:
+        session.ingest(batch)
+    reconfigure(session)  # queued, NOT yet applied — checkpointed pending
+    restored = restore_session(capture(session))
+    for batch in bins[k:]:
+        restored.ingest(batch)
+    assert_results_identical(expected, restored.close(),
+                             label=f"pending/shards={num_shards}")
+
+
+@needs_fork
+def test_workers_checkpoint_restores_inprocess(small_trace):
+    """A run checkpointed on the worker pool resumes in-process."""
+    config = _config("predictive", num_shards=4, shard_rebalance=True)
+    bins = small_trace.batch_list(0.1)
+    k = len(bins) // 2
+    expected = _run_uninterrupted(config, bins)
+
+    session = _open_session(config, n_workers=4, backend="workers")
+    try:
+        assert session.backend == "workers"
+        for batch in bins[:k]:
+            session.ingest(batch)
+        blob = capture(session)
+        # The live workers session keeps streaming after the snapshot.
+        for batch in bins[k:]:
+            session.ingest(batch)
+        assert_results_identical(expected, session.close(),
+                                 label="workers/uninterrupted-after-capture")
+    finally:
+        session.close()
+
+    # The default restore resumes the checkpointed backend; ask for
+    # in-process explicitly to cross backends.
+    restored = restore_session(blob, backend="inprocess")
+    assert restored.backend == "inprocess"
+    for batch in bins[k:]:
+        restored.ingest(batch)
+    assert_results_identical(expected, restored.close(),
+                             label="workers->inprocess")
+
+
+@needs_fork
+def test_inprocess_checkpoint_restores_on_workers(small_trace):
+    """...and the other direction: in-process checkpoint, workers resume."""
+    config = _config("predictive", num_shards=4)
+    bins = small_trace.batch_list(0.1)
+    k = len(bins) // 2
+    expected = _run_uninterrupted(config, bins)
+
+    session = _open_session(config)
+    for batch in bins[:k]:
+        session.ingest(batch)
+    blob = capture(session)
+
+    restored = restore_session(blob, n_workers=4, backend="workers",
+                               respect_cores=False)
+    try:
+        assert restored.backend == "workers"
+        for batch in bins[k:]:
+            restored.ingest(batch)
+        assert_results_identical(expected, restored.close(),
+                                 label="inprocess->workers")
+    finally:
+        restored.close()
+
+
+def test_restore_twice_is_independent(small_trace):
+    """One loaded checkpoint thaws two fully independent sessions."""
+    config = _config("predictive")
+    bins = small_trace.batch_list(0.1)
+    k = len(bins) // 2
+    session = _open_session(config)
+    for batch in bins[:k]:
+        session.ingest(batch)
+    checkpoint = load_checkpoint(capture(session))
+
+    first, second = checkpoint.restore(), checkpoint.restore()
+    assert first is not second
+    for batch in bins[k:]:
+        first.ingest(batch)
+    result_first = first.close()
+    assert second.bins_ingested == k  # untouched by first's progress
+    for batch in bins[k:]:
+        second.ingest(batch)
+    assert_results_identical(result_first, second.close(),
+                             label="independent-restores")
+
+
+def test_save_load_describe(tmp_path, small_trace):
+    config = _config("reactive")
+    bins = small_trace.batch_list(0.1)
+    session = _open_session(config, name="disk-ckpt")
+    for batch in bins[:7]:
+        session.ingest(batch)
+    path = save_checkpoint(session, tmp_path / "deep" / "checkpoint.pkl")
+    assert path.exists()
+    meta = describe_checkpoint(path)
+    assert meta["format"] == CHECKPOINT_FORMAT
+    assert meta["kind"] == "monitoring"
+    assert meta["mode"] == "reactive"
+    assert meta["bins_ingested"] == 7
+    assert meta["query_names"] == ["counter", "flows"]
+    restored = restore_session(path)
+    for batch in bins[7:]:
+        restored.ingest(batch)
+    assert_results_identical(_run_uninterrupted(config, bins),
+                             restored.close(), label="from-disk")
+
+
+def test_checkpoint_rejects_closed_and_foreign():
+    config = _config("original")
+    session = _open_session(config)
+    session.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        capture(session)
+    with pytest.raises(TypeError, match="cannot checkpoint"):
+        capture(object())
+
+
+def test_load_rejects_non_checkpoints(tmp_path):
+    bogus = tmp_path / "bogus.pkl"
+    bogus.write_bytes(pickle.dumps({"not": "a checkpoint"}))
+    with pytest.raises(ValueError, match="not a repro checkpoint"):
+        load_checkpoint(bogus)
+    versioned = tmp_path / "future.pkl"
+    versioned.write_bytes(pickle.dumps(
+        {"meta": {"format": CHECKPOINT_FORMAT, "version": 999},
+         "state_blob": b""}))
+    with pytest.raises(ValueError, match="version"):
+        load_checkpoint(versioned)

@@ -1,0 +1,504 @@
+"""The serve subsystem: feeds, daemon, ops API, end-to-end bit-identity.
+
+The contracts under test:
+
+* **Feeds** — every feed delivers exactly the bins an offline replay of
+  the same source would: ReplayFeed mirrors ``batch_list``, TailFeed
+  follows a store another writer is still flushing and converges on the
+  finished store's bins, GeneratorFeed reproduces the
+  ``generate_trace_store`` segment recipe, SocketFeed bins JSONL records
+  at ``time_bin`` boundaries.
+* **Daemon end to end** — a daemon fed live traffic, reconfigured over
+  HTTP mid-stream and checkpointed, produces (a) the same final result as
+  an uninterrupted in-process run with the same reconfiguration, and (b)
+  a checkpoint whose restore finishes to that same result.
+* **Ops API** — /status, /queries, /capacity, /config, /result behave;
+  /metrics emits parseable Prometheus text exposition format; errors map
+  to 400/404/409 with JSON bodies.
+"""
+
+import asyncio
+import json
+import re
+import shutil
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.experiments import runner
+from repro.serve import (GeneratorFeed, MonitorDaemon, ReplayFeed,
+                         SocketFeed, TailFeed, restore_session)
+from repro.serve.api import render_metrics
+from repro.testing import assert_results_identical
+from repro.traffic.generator import TrafficProfile, generate_trace_store
+from repro.traffic.trace_io import TraceStore, TraceWriter
+
+CAPACITY = 2.0e7
+TIME_BIN = 0.1
+
+
+def _collect(feed):
+    """Drain a feed's async iterator into a list of batches."""
+    async def gather():
+        return [batch async for batch in feed.batches()]
+    return asyncio.run(gather())
+
+
+def _assert_batches_equal(actual, expected, label=""):
+    assert len(actual) == len(expected), label
+    for index, (a, b) in enumerate(zip(actual, expected)):
+        assert len(a) == len(b), (label, index)
+        assert np.array_equal(a.ts, b.ts), (label, index)
+        assert np.array_equal(a.src_ip, b.src_ip), (label, index)
+        assert np.array_equal(a.size, b.size), (label, index)
+        assert a.start_ts == pytest.approx(b.start_ts), (label, index)
+
+
+# ----------------------------------------------------------------------
+# Feeds
+# ----------------------------------------------------------------------
+def test_replay_feed_matches_batch_list(small_trace):
+    feed = ReplayFeed(small_trace, time_bin=TIME_BIN)
+    batches = _collect(feed)
+    _assert_batches_equal(batches, small_trace.batch_list(TIME_BIN),
+                          "replay")
+    assert feed.done
+
+
+def test_replay_feed_from_store_path(tmp_path, small_trace):
+    from repro.traffic.trace_io import save_trace_store
+    store = save_trace_store(small_trace, tmp_path / "store")
+    feed = ReplayFeed(str(tmp_path / "store"), time_bin=TIME_BIN)
+    batches = _collect(feed)
+    _assert_batches_equal(batches,
+                          store.streaming().batch_list(TIME_BIN),
+                          "replay-store")
+
+
+def test_replay_feed_stop_ends_early(small_trace):
+    feed = ReplayFeed(small_trace, time_bin=TIME_BIN)
+
+    async def gather():
+        got = []
+        async for batch in feed.batches():
+            got.append(batch)
+            if len(got) == 3:
+                feed.stop()
+        return got
+
+    got = asyncio.run(gather())
+    assert len(got) == 3
+    assert feed.done
+
+
+def test_generator_feed_matches_trace_store(tmp_path):
+    """The live generator reproduces the store generator's exact stream."""
+    profile = TrafficProfile(duration=3.0, flow_arrival_rate=120.0,
+                             name="genfeed")
+    store = generate_trace_store(tmp_path / "gen", profile, seed=11,
+                                 segment_duration=1.0, time_bin=TIME_BIN)
+    expected = store.streaming().batch_list(TIME_BIN)
+    feed = GeneratorFeed(profile, seed=11, time_bin=TIME_BIN,
+                         segment_duration=1.0)
+    _assert_batches_equal(_collect(feed), list(expected), "generator")
+
+
+def test_generator_feed_max_bins():
+    profile = TrafficProfile(duration=5.0, flow_arrival_rate=120.0)
+    feed = GeneratorFeed(profile, seed=2, time_bin=TIME_BIN,
+                         segment_duration=1.0, max_bins=7)
+    assert len(_collect(feed)) == 7
+
+
+def test_tail_feed_follows_growing_store(tmp_path, small_trace):
+    """Bins stream out while the writer is mid-flight; total = full store."""
+    pkts = small_trace.packets
+    split = int(np.searchsorted(pkts.ts, float(pkts.ts[0]) + 2.0))
+    path = tmp_path / "tail"
+    writer = TraceWriter(path, name="tail", time_bin=TIME_BIN)
+    writer.append(pkts.select(np.arange(split)))
+    writer.flush()
+    assert TraceStore(path).complete is False
+
+    feed = TailFeed(path, time_bin=TIME_BIN, poll_interval=0.05)
+    progressed = threading.Event()
+
+    def finish_writing():
+        progressed.wait(timeout=10.0)
+        writer.append(pkts.select(np.arange(split, len(pkts))))
+        writer.close()
+
+    finisher = threading.Thread(target=finish_writing)
+    finisher.start()
+
+    async def gather():
+        got = []
+        async for batch in feed.batches():
+            got.append(batch)
+            progressed.set()  # first bins arrived from the partial store
+        return got
+
+    batches = asyncio.run(gather())
+    finisher.join()
+    store = TraceStore(path)
+    assert store.complete is True
+    _assert_batches_equal(batches, store.streaming().batch_list(TIME_BIN),
+                          "tail")
+
+
+def test_socket_feed_bins_jsonl_records():
+    # Timestamps i/16 and a bin width of 1/4 are exact binary fractions,
+    # so the expected binning has no edge-rounding ambiguity.
+    records = [{"ts": i / 16, "src_ip": "10.0.0.%d" % (i % 4),
+                "dst_ip": 167772161, "src_port": 1024 + i, "dst_port": 80,
+                "proto": 6, "size": 100 + i} for i in range(25)]
+
+    async def scenario():
+        feed = SocketFeed(time_bin=0.25)
+        await feed.start()
+        got = []
+
+        async def consume():
+            async for batch in feed.batches():
+                got.append(batch)
+
+        consumer = asyncio.ensure_future(consume())
+        reader, writer = await asyncio.open_connection("127.0.0.1",
+                                                       feed.bound_port)
+        for record in records:
+            writer.write((json.dumps(record) + "\n").encode())
+        writer.write(b"this is not json\n")  # ignored, stream stays alive
+        await writer.drain()
+        writer.close()
+        await asyncio.sleep(0.2)
+        feed.stop()
+        await asyncio.wait_for(consumer, timeout=5.0)
+        return got
+
+    batches = asyncio.run(scenario())
+    total = sum(len(batch) for batch in batches)
+    assert total == len(records)
+    # Records span [0, 1.5]s -> 7 bins of 250 ms anchored at ts=0; the
+    # last bin holds only the final record.
+    assert [len(batch) for batch in batches] == [4, 4, 4, 4, 4, 4, 1]
+    assert batches[0].src_port[0] == 1024
+
+
+# ----------------------------------------------------------------------
+# Daemon + ops API (driven over real HTTP)
+# ----------------------------------------------------------------------
+class DaemonHarness:
+    """Run a MonitorDaemon on a background thread; talk HTTP to it."""
+
+    def __init__(self, daemon):
+        self.daemon = daemon
+        self.result = None
+        self.error = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        try:
+            self.result = asyncio.run(self.daemon.run())
+        except BaseException as exc:  # surfaced by join()
+            self.error = exc
+
+    def __enter__(self):
+        self._thread.start()
+        deadline = time.monotonic() + 10.0
+        while self.daemon.bound_port == 0:
+            if self.error is not None or time.monotonic() > deadline:
+                raise RuntimeError(f"daemon failed to start: {self.error}")
+            time.sleep(0.01)
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback):
+        self.daemon.stop()
+        self.join(timeout=30.0)
+
+    def join(self, timeout=30.0):
+        self._thread.join(timeout=timeout)
+        if self.error is not None:
+            raise self.error
+        return self.result
+
+    # -- HTTP helpers --------------------------------------------------
+    def _url(self, path):
+        return f"http://127.0.0.1:{self.daemon.bound_port}{path}"
+
+    def get(self, path):
+        with urllib.request.urlopen(self._url(path), timeout=10) as resp:
+            body = resp.read()
+        if path == "/metrics":
+            return body.decode()
+        return json.loads(body)
+
+    def request(self, method, path, document=None):
+        data = (json.dumps(document).encode()
+                if document is not None else b"")
+        req = urllib.request.Request(self._url(path), data=data,
+                                     method=method)
+        req.add_header("Content-Type", "application/json")
+        with urllib.request.urlopen(req, timeout=10) as resp:
+            return json.loads(resp.read())
+
+    def wait_status(self, predicate, timeout=20.0):
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            status = self.get("/status")
+            if predicate(status):
+                return status
+            time.sleep(0.05)
+        raise AssertionError(f"status never satisfied predicate; "
+                             f"last: {self.get('/status')}")
+
+
+def _daemon_config(**overrides):
+    return runner.system_config(mode="predictive", seed=5,
+                                queries="counter,flows",
+                                cycles_per_second=CAPACITY, **overrides)
+
+
+@pytest.fixture(scope="module")
+def serve_trace():
+    from repro.traffic import generate_trace
+    profile = TrafficProfile(duration=4.0, flow_arrival_rate=150.0,
+                             name="serve-e2e")
+    return generate_trace(profile, seed=3)
+
+
+def test_daemon_end_to_end_checkpoint_restore(tmp_path, serve_trace):
+    """The acceptance path: tail a growing store, live-add a query over
+    HTTP, checkpoint mid-stream, restore — all three results identical."""
+    pkts = serve_trace.packets
+    first_ts = float(pkts.ts[0])
+    split = int(np.searchsorted(pkts.ts, first_ts + 2.0))
+    path = tmp_path / "live"
+    writer = TraceWriter(path, name="live", time_bin=TIME_BIN)
+    writer.append(pkts.select(np.arange(split)))
+    writer.flush()
+    # Bins the tail feed will deliver from the partial store: every bin
+    # whose upper edge is at or before the last written timestamp.
+    part1_end = float(pkts.ts[split - 1])
+    k1 = int(np.floor((part1_end - first_ts) / TIME_BIN))
+    assert k1 >= 5
+
+    spec = {"kind": "top-k", "kwargs": {"k": 5, "name": "live-topk"}}
+    config = _daemon_config()
+    feed = TailFeed(path, time_bin=TIME_BIN, poll_interval=0.05)
+    daemon = MonitorDaemon(config, feed, checkpoint_dir=tmp_path / "ckpt",
+                           name="e2e")
+    with DaemonHarness(daemon) as harness:
+        harness.wait_status(lambda s: s["bins_ingested"] == k1)
+        # The store can grow no further until we append below, so the add
+        # lands deterministically at the bin-k1 boundary.
+        added = harness.request("POST", "/queries", {"spec": spec})
+        assert added["added"] == "live-topk"
+        ckpt = harness.request("POST", "/checkpoint")
+        assert ckpt["bins_ingested"] == k1
+        frozen = tmp_path / "frozen.pkl"  # shutdown overwrites the live one
+        shutil.copy(ckpt["checkpoint"], frozen)
+
+        writer.append(pkts.select(np.arange(split, len(pkts))))
+        writer.close()
+        result_daemon = harness.join(timeout=60.0)
+    assert result_daemon is not None
+    assert "live-topk" in result_daemon.query_logs
+
+    store = TraceStore(path)
+    bins = store.streaming().batch_list(TIME_BIN)
+    assert len(result_daemon.bins) == len(bins)
+
+    # Reference: uninterrupted in-process run, same add at the same bin.
+    reference = config.build().open_session(time_bin=TIME_BIN, name="ref")
+    for batch in bins[:k1]:
+        reference.ingest(batch)
+    from repro.queries import QuerySpec
+    reference.add_query(QuerySpec.from_dict(spec).build())
+    for batch in bins[k1:]:
+        reference.ingest(batch)
+    expected = reference.close()
+    assert_results_identical(expected, result_daemon, label="daemon-vs-ref")
+
+    # Restore the mid-stream checkpoint (captured with the add still
+    # pending) and finish it by hand: same result again.
+    restored = restore_session(frozen)
+    assert restored.bins_ingested == k1
+    for batch in bins[k1:]:
+        restored.ingest(batch)
+    assert_results_identical(expected, restored.close(),
+                             label="restore-vs-ref")
+
+
+def test_daemon_status_metrics_and_ops(tmp_path, serve_trace):
+    config = _daemon_config()
+    feed = ReplayFeed(serve_trace, time_bin=TIME_BIN, pace=1.0)
+    daemon = MonitorDaemon(config, feed, checkpoint_dir=tmp_path / "ck",
+                           rotate_dir=tmp_path / "rot",
+                           rotate_every_bins=10, name="ops")
+    with DaemonHarness(daemon) as harness:
+        status = harness.wait_status(lambda s: s["bins_ingested"] >= 5)
+        assert status["mode"] == "predictive"
+        assert status["feed"]["kind"] == "replay"
+        assert set(status["queries"]) == {"counter", "flows"}
+        assert status["uptime_seconds"] > 0
+
+        assert harness.get("/queries")["queries"] == ["counter", "flows"]
+        capacity = harness.request("POST", "/capacity",
+                                   {"cycles_per_second": CAPACITY / 2})
+        assert capacity["cycles_per_second"] == CAPACITY / 2
+
+        applied = harness.request("POST", "/config",
+                                  {"cycles_per_second": CAPACITY})
+        assert applied["applied"] == {"cycles_per_second": CAPACITY}
+
+        # Hot-reload rejections: dead fields and typos, as HTTP 400s.
+        with pytest.raises(urllib.error.HTTPError) as err:
+            harness.request("POST", "/config", {"mode": "reactive"})
+        assert err.value.code == 400
+        assert "cannot change while" in json.loads(err.value.read())["error"]
+        with pytest.raises(urllib.error.HTTPError) as err:
+            harness.request("POST", "/config", {"cycles_per_secnod": 1.0})
+        assert err.value.code == 400
+        assert "did you mean" in json.loads(err.value.read())["error"]
+
+        with pytest.raises(urllib.error.HTTPError) as err:
+            harness.request("DELETE", "/queries/nope")
+        assert err.value.code == 404
+        with pytest.raises(urllib.error.HTTPError) as err:
+            harness.get("/bogus")
+        assert err.value.code == 404
+
+        text = harness.get("/metrics")
+        names = _assert_prometheus_text(text)
+        for expected in ("repro_bins_ingested_total", "repro_packets_total",
+                         "repro_dropped_packets_total",
+                         "repro_feed_lag_seconds", "repro_uptime_seconds",
+                         "repro_mean_prediction_error",
+                         "repro_checkpoints_total"):
+            assert expected in names, f"missing metric {expected}"
+        doc = harness.request("POST", "/shutdown")
+        assert doc["stopping"] is True
+        result = harness.join(timeout=30.0)
+    assert result is not None
+    # Rotation wrote (at least) one finished v2 segment of the traffic.
+    segments = sorted((tmp_path / "rot").glob("segment-*"))
+    assert segments
+    rotated = TraceStore(segments[0])
+    assert rotated.complete and len(rotated) > 0
+    # The shutdown checkpoint is loadable and self-describing.
+    from repro.serve import describe_checkpoint
+    meta = describe_checkpoint(tmp_path / "ck" / "checkpoint.pkl")
+    assert meta["kind"] == "monitoring"
+
+
+_METRIC_LINE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(\\.|[^\"\\])*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(\\.|[^\"\\])*\")*\})? -?[0-9.eE+\-]+$")
+
+
+def _assert_prometheus_text(text):
+    """A tiny exposition-format parser: HELP/TYPE pairs + sample lines."""
+    lines = text.strip().splitlines()
+    assert lines, "empty /metrics"
+    documented = set()
+    for line in lines:
+        if line.startswith("# HELP "):
+            documented.add(line.split()[2])
+        elif line.startswith("# TYPE "):
+            parts = line.split()
+            assert parts[2] in documented, f"TYPE before HELP: {line}"
+            assert parts[3] in ("counter", "gauge"), line
+        else:
+            assert _METRIC_LINE.match(line), f"unparseable sample: {line}"
+            name = line.split("{")[0].split()[0]
+            assert name in documented, f"undocumented sample: {line}"
+    samples = [line for line in lines if not line.startswith("#")]
+    return {line.split("{")[0].split()[0] for line in samples}
+
+
+def test_render_metrics_labels_and_escaping():
+    text = render_metrics([
+        {"name": "m_total", "type": "counter", "help": "a\nb",
+         "samples": [({}, 3)]},
+        {"name": "g", "type": "gauge", "help": "per query",
+         "samples": [({"query": 'with"quote'}, 1.5),
+                     ({"query": "plain"}, 2.0)]},
+    ])
+    assert "# HELP m_total a\\nb" in text
+    assert "m_total 3" in text.splitlines()
+    assert 'g{query="with\\"quote"} 1.5' in text
+    assert 'g{query="plain"} 2' in text
+    _assert_prometheus_text(text)
+
+
+def test_daemon_requires_declarative_queries(serve_trace):
+    config = runner.system_config(cycles_per_second=CAPACITY)  # no queries
+    with pytest.raises(ValueError, match="declarative 'queries'"):
+        MonitorDaemon(config, ReplayFeed(serve_trace, time_bin=TIME_BIN))
+
+
+def test_daemon_max_bins_stops_ingest(serve_trace):
+    config = _daemon_config()
+    daemon = MonitorDaemon(config,
+                           ReplayFeed(serve_trace, time_bin=TIME_BIN),
+                           max_bins=5)
+    result = asyncio.run(daemon.run())
+    assert len(result.bins) == 5
+
+
+def test_sharded_daemon_serves_and_reports_shards(serve_trace):
+    config = _daemon_config(num_shards=4)
+    daemon = MonitorDaemon(config,
+                           ReplayFeed(serve_trace, time_bin=TIME_BIN,
+                                      pace=1.0),
+                           name="sharded")
+    with DaemonHarness(daemon) as harness:
+        status = harness.wait_status(lambda s: s["bins_ingested"] >= 3)
+        assert status["num_shards"] == 4
+        text = harness.get("/metrics")
+        assert "repro_shard_cycles" in text
+        harness.request("POST", "/shutdown")
+        result = harness.join(timeout=30.0)
+    assert result is not None
+
+    # And the daemon's execution matches the plain offline sharded run.
+    expected = runner.run_system(None, serve_trace, CAPACITY,
+                                 time_bin=TIME_BIN, config=config)
+    prefix = len(result.bins)
+    assert np.array_equal(
+        result.series("query_cycles"),
+        expected.series("query_cycles")[:prefix])
+
+
+# ----------------------------------------------------------------------
+# TraceWriter.flush / incremental manifests (the TailFeed substrate)
+# ----------------------------------------------------------------------
+def test_trace_writer_flush_publishes_readable_prefix(tmp_path, small_trace):
+    pkts = small_trace.packets
+    split = len(pkts) // 3
+    writer = TraceWriter(tmp_path / "prefix", name="p", time_bin=TIME_BIN)
+    writer.append(pkts.select(np.arange(split)))
+    writer.flush()
+    partial = TraceStore(tmp_path / "prefix")
+    assert partial.complete is False
+    assert len(partial) == split
+    assert np.array_equal(partial.column("ts"), pkts.ts[:split])
+    writer.append(pkts.select(np.arange(split, len(pkts))))
+    final = writer.close()
+    assert final.complete is True
+    assert len(final) == len(pkts)
+    reread = TraceStore(tmp_path / "prefix")
+    assert reread.complete is True
+
+
+def test_trace_writer_flush_empty_and_closed(tmp_path, small_trace):
+    writer = TraceWriter(tmp_path / "empty", time_bin=TIME_BIN)
+    writer.flush()  # no packets yet: quietly a no-op
+    writer.append(small_trace.packets)
+    writer.close()
+    with pytest.raises(RuntimeError, match="closed"):
+        writer.flush()

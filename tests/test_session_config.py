@@ -61,7 +61,7 @@ class TestSystemConfig:
         assert config.seed == 0, "replace must not mutate the original"
         with pytest.raises(ValueError, match="valid modes"):
             config.replace(mode="warp-speed")
-        with pytest.raises(ValueError, match="unknown SystemConfig fields"):
+        with pytest.raises(ValueError, match="unknown SystemConfig field"):
             config.replace(warp_factor=9)
 
     def test_mode_alias_canonicalised(self):
@@ -95,8 +95,21 @@ class TestSystemConfig:
             config.to_dict()
 
     def test_from_dict_rejects_unknown_fields(self):
-        with pytest.raises(ValueError, match="unknown SystemConfig fields"):
+        with pytest.raises(ValueError, match="unknown SystemConfig field"):
             SystemConfig.from_dict({"mode": "predictive", "warp_factor": 9})
+
+    def test_unknown_field_error_suggests_close_match(self):
+        # Hot-reload safety: a daemon's POST /config rejects typo'd keys
+        # with a did-you-mean hint, so the operator sees the fix in the
+        # HTTP error body instead of hunting through the field list.
+        with pytest.raises(ValueError,
+                           match=r"did you mean 'cycles_per_second'\?"):
+            SystemConfig.from_dict({"cycles_per_secnod": 1e8})
+        with pytest.raises(ValueError, match=r"did you mean 'num_shards'\?"):
+            SystemConfig().replace(num_shard=4)
+        # A key nothing like any field still names itself and the options.
+        with pytest.raises(ValueError, match=r"'zzz'.*valid fields"):
+            SystemConfig.from_dict({"zzz": 1})
 
     def test_build_constructs_equivalent_system(self, small_trace, calibrated):
         capacity, _ = calibrated

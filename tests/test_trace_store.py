@@ -228,6 +228,30 @@ def test_lru_never_exceeds_budget(store_and_trace):
     assert streaming.cache_misses >= streaming.num_chunks
 
 
+def test_close_leaves_no_dangling_prefetch_threads(store_and_trace):
+    """Abandoning a prefetching iteration mid-trace and closing the
+    streaming trace must join every loader thread — a daemon rotating to
+    a newer segment cannot leak one thread per abandoned trace."""
+    import threading
+    store, _ = store_and_trace
+
+    def prefetch_threads():
+        return [t for t in threading.enumerate()
+                if t.name.startswith("repro-prefetch-")]
+
+    streaming = store.streaming(chunk_packets=max(1, len(store) // 16),
+                                max_resident_chunks=2, prefetch=True)
+    for index, _batch in enumerate(streaming.batches(0.1)):
+        if index == 3:  # abandon mid-iteration, prefetch in flight
+            break
+    streaming.close()
+    streaming.close()  # idempotent
+    assert prefetch_threads() == []
+    # The cache stays readable after close; only prefetching stops.
+    assert len(streaming.batch_list(0.1)) > 0
+    assert prefetch_threads() == []
+
+
 def test_as_trace_coercion(store_and_trace):
     store, trace = store_and_trace
     assert as_trace(trace) is trace

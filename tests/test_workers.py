@@ -210,6 +210,35 @@ class TestWorkerBitIdentity:
         for qname, log in partial_in.query_logs.items():
             assert partial_w.query_logs[qname].results == log.results
 
+    def test_partial_result_mid_stream_is_bit_identical(self):
+        """Snapshot-while-streaming: a ``partial_result`` taken from a
+        live worker-pool session matches the serial session's snapshot at
+        the same bin, and taking it perturbs neither stream."""
+        config = runner.system_config(cycles_per_second=4e7, seed=11)
+        batches = [make_batch(n=90, seed=s, start_ts=0.1 * s)
+                   for s in range(20)]
+
+        def drive(backend):
+            sharded = ShardedSystem(_factory(("counter", "flows", "top-k")),
+                                    config=config, num_shards=2,
+                                    backend=backend)
+            session = sharded.open_session(name="snapshot")
+            partials = []
+            for index, batch in enumerate(batches):
+                session.ingest(batch)
+                if index in (6, 13):
+                    partials.append(session.partial_result())
+            return partials, session.close()
+
+        partials_in, final_in = drive("inprocess")
+        partials_w, final_w = drive("workers")
+        for snap_in, snap_w in zip(partials_in, partials_w):
+            _assert_identical(snap_in, snap_w)
+        _assert_identical(final_in, final_w)
+        # The snapshots are frozen: the stream moved on, they did not.
+        assert len(partials_w[0].bins) == 7
+        assert len(partials_w[1].bins) == 14
+
     def test_auto_resolves_to_workers_when_parallelism_requested(self):
         system = ShardedSystem(_factory(("counter",)), num_shards=2,
                                n_workers=2, respect_cores=False,
