@@ -1,0 +1,142 @@
+"""Benchmark: per-bin cost scaling with the number of registered queries.
+
+The paper runs its scheme with a handful of queries, but the per-bin hot
+path historically paid the full prediction pipeline *per query*: feature
+extraction (the dominant term — ten distinct-count estimates per query per
+bin) plus FCBF selection and an MLR fit.  The shared feature-state
+registry (``repro.core.features.FeatureStateRegistry``) collapses that for
+queries observing the same packet stream: one counter-merge round and one
+feature read per (filter, interval, counter-backend) group per bin,
+whatever the query count.
+
+This benchmark sweeps the registered-query count with sharing on and off
+over the same generated trace, in two mixes:
+
+* **same-filter** — every query sees the whole stream (one shared group);
+  this is the sublinear case and carries the acceptance gate:
+  >= ``REQUIRED_SPEEDUP``x at ``GATE_QUERIES`` queries.
+* **distinct-filter** — queries cycle through 8 different filters (8
+  groups); sharing still helps N/8-fold, recorded ungated.
+
+Both runs of every pair must produce bit-identical results — sharing is an
+exact optimisation, not an approximation — and the shared run's per-bin
+latency percentiles (from the built-in ``StageProfiler``) land in
+``BENCH_report.json``.
+"""
+
+import time
+
+from conftest import BENCH_SCALE, record_result
+
+from repro.monitor.config import SystemConfig
+from repro.queries import QuerySpec
+from repro.testing import assert_results_identical
+from repro.traffic import generate_trace
+from repro.traffic.generator import TrafficProfile
+
+TIME_BIN = 0.1
+QUERY_COUNTS = (10, 50, 100, 200)
+#: The acceptance gate: shared-state ingest must beat per-query ingest by
+#: at least this factor with GATE_QUERIES same-filter queries registered.
+REQUIRED_SPEEDUP = 3.0
+GATE_QUERIES = 100
+#: The distinct-filter mix cycles these (8 feature-state groups).  ``all``
+#: appears once so the mix includes the whole-stream group too.
+FILTER_MIX = ("all", "tcp", "udp", "port:80", "port:443", "port:53",
+              "size>=200", "port:6881")
+
+
+def _specs(n, filters=None):
+    return tuple(
+        QuerySpec("counter", {"name": f"q{i:03d}"},
+                  filter=None if filters is None else filters[i % len(filters)])
+        for i in range(n))
+
+
+def _run(trace, specs, sharing):
+    """Ingest ``trace`` under ``specs``; returns (result, seconds, system)."""
+    config = SystemConfig(queries=specs, cycles_per_second=1e12, seed=11,
+                          feature_sharing=sharing)
+    system = config.build()
+    session = system.open_session(time_bin=TIME_BIN, name="many-queries")
+    start = time.perf_counter()
+    for batch in trace.batches(TIME_BIN):
+        session.ingest(batch)
+    result = session.close()
+    return result, time.perf_counter() - start, system
+
+
+def test_shared_feature_state_scales_sublinearly(benchmark):
+    profile = TrafficProfile(duration=max(2.0, 4.0 * BENCH_SCALE),
+                             flow_arrival_rate=800.0, name="many-queries")
+    trace = generate_trace(profile, seed=23)
+
+    def _sweep():
+        rows = []
+        for n in QUERY_COUNTS:
+            specs = _specs(n)
+            shared, shared_seconds, system = _run(trace, specs, True)
+            unshared, unshared_seconds, _ = _run(trace, specs, False)
+            assert_results_identical(shared, unshared, f"same-filter N={n}")
+            rows.append((n, shared_seconds, unshared_seconds,
+                         system.profiler.bin_seconds,
+                         system.feature_states.stats()))
+        return rows
+
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1,
+                              warmup_rounds=0)
+
+    print()
+    print("same-filter mix (one shared group):")
+    print("  queries  shared      per-query   speedup")
+    gate_speedup = None
+    for n, shared_seconds, unshared_seconds, bin_seconds, stats in rows:
+        speedup = unshared_seconds / shared_seconds
+        print(f"  {n:7d}  {shared_seconds:8.3f}s  {unshared_seconds:8.3f}s"
+              f"  {speedup:6.2f}x")
+        gated = n == GATE_QUERIES
+        if gated:
+            gate_speedup = speedup
+        record_result(
+            f"many_queries_same_filter_{n}", shared_seconds,
+            speedup=speedup, bin_seconds=bin_seconds,
+            unshared_seconds=unshared_seconds, queries=n,
+            shared_reads=stats["shared_reads"],
+            computed_reads=stats["computed_reads"],
+            deduped_merges=stats["deduped_merges"],
+            **({"required_speedup": REQUIRED_SPEEDUP} if gated else {}))
+    print(f"  gate: >= {REQUIRED_SPEEDUP}x at {GATE_QUERIES} queries "
+          f"(measured {gate_speedup:.2f}x)")
+    assert gate_speedup is not None and gate_speedup >= REQUIRED_SPEEDUP
+
+
+def test_distinct_filter_mix_still_shares(benchmark):
+    profile = TrafficProfile(duration=max(2.0, 4.0 * BENCH_SCALE),
+                             flow_arrival_rate=800.0, name="many-queries")
+    trace = generate_trace(profile, seed=23)
+    specs = _specs(GATE_QUERIES, filters=FILTER_MIX)
+
+    def _pair():
+        shared, shared_seconds, system = _run(trace, specs, True)
+        unshared, unshared_seconds, _ = _run(trace, specs, False)
+        return shared, shared_seconds, unshared, unshared_seconds, system
+
+    shared, shared_seconds, unshared, unshared_seconds, system = \
+        benchmark.pedantic(_pair, rounds=1, iterations=1, warmup_rounds=0)
+
+    assert_results_identical(shared, unshared,
+                             f"distinct-filter N={GATE_QUERIES}")
+    stats = system.feature_states.stats()
+    speedup = unshared_seconds / shared_seconds
+    print()
+    print(f"distinct-filter mix ({stats['groups']} groups, "
+          f"{GATE_QUERIES} queries): shared {shared_seconds:.3f}s | "
+          f"per-query {unshared_seconds:.3f}s | {speedup:.2f}x (ungated)")
+    record_result(
+        f"many_queries_distinct_filter_{GATE_QUERIES}", shared_seconds,
+        speedup=speedup, bin_seconds=system.profiler.bin_seconds,
+        unshared_seconds=unshared_seconds, queries=GATE_QUERIES,
+        groups=stats["groups"], shared_reads=stats["shared_reads"],
+        computed_reads=stats["computed_reads"])
+    # Sharing must never hurt; with 8 groups it should clearly help.
+    assert speedup >= 1.0

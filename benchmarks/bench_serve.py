@@ -91,12 +91,13 @@ def test_daemon_ingest_keeps_offline_throughput(benchmark, tmp_path):
         thread.join()
         stop.set()
         poller.join()
-        return box["result"], latencies
+        return box["result"], latencies, daemon
 
     offline_result, offline_seconds = _timed(_offline)
-    ((daemon_result, latencies), daemon_seconds), _ = benchmark.pedantic(
-        lambda: (_timed(_daemon), None),
-        rounds=1, iterations=1, warmup_rounds=0)
+    ((daemon_result, latencies, daemon), daemon_seconds), _ = \
+        benchmark.pedantic(
+            lambda: (_timed(_daemon), None),
+            rounds=1, iterations=1, warmup_rounds=0)
 
     # Correctness first: the service path is the offline path, bit for bit.
     assert_results_identical(offline_result, daemon_result, "serve")
@@ -113,6 +114,7 @@ def test_daemon_ingest_keeps_offline_throughput(benchmark, tmp_path):
           f"{max_status * 1000:.0f} ms")
     record_result("serve_ingest", daemon_seconds,
                   speedup=relative,
+                  bin_seconds=daemon.session.system.profiler.bin_seconds,
                   offline_seconds=offline_seconds,
                   required_relative=MIN_RELATIVE,
                   bins=bins,

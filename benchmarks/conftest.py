@@ -38,17 +38,22 @@ def run_once(benchmark, fn, *args, **kwargs):
                               iterations=1, warmup_rounds=0)
 
 
-def record_result(name, seconds, speedup=None, **extra):
+def record_result(name, seconds, speedup=None, bin_seconds=None, **extra):
     """Record one benchmark outcome for the per-commit ``BENCH_report.json``.
 
     ``seconds`` is the benchmark's headline wall time; ``speedup`` the
     factor over its stated baseline (omit when the benchmark has none);
+    ``bin_seconds`` an optional per-bin latency series, summarised into
+    ``latency`` (n/mean/p50/p95/p99/max) via :func:`repro.profile.summarize`;
     any extra keyword becomes an additional JSON field (counts, throughput,
     required bars, ...).
     """
     entry = {"seconds": float(seconds)}
     if speedup is not None:
         entry["speedup"] = float(speedup)
+    if bin_seconds is not None:
+        from repro.profile import summarize
+        entry["latency"] = summarize(bin_seconds)
     entry.update(extra)
     _RESULTS[str(name)] = entry
 

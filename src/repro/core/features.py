@@ -21,6 +21,7 @@ default (the paper's choice) or exactly.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -86,6 +87,152 @@ class FeatureVector:
         return len(self.values)
 
 
+class IntervalState:
+    """Per-interval counter state shared by a group of extractors.
+
+    One group exists per ``(measurement interval, counter signature, filter
+    share key)``: every member merges *the same* filtered sub-batch objects
+    at the same interval boundaries, so the ten distinct counters — and the
+    per-bin ``new_estimate`` reads against them — are paid once for the
+    whole group instead of once per query.
+
+    Bit-identity is guaranteed by construction: bitmap/exact merges are
+    commutative unions, so the shared counters hold exactly the state each
+    member's private counters would hold — *as long as the member merged
+    every batch the group merged*.  The group tracks that with write
+    rounds:
+
+    * ``write_round`` counts merge rounds since the group was created; a
+      member whose ``_synced`` round (or the ``heal_round``, see below)
+      equals it is in lockstep and may read/merge through the group.
+    * ``snapshot`` holds copies of the counters as they were *before* the
+      current round's merge; a member exactly one round behind (its batch
+      was fully shed, say) forks its private state from the snapshot —
+      bit-identical to the private path, which would have skipped the same
+      merge.
+    * ``heal_round`` records the round at which the counters were last
+      wiped by an interval roll: a wipe erases any missed-merge divergence,
+      so members behind at most that round snap back into lockstep.
+
+    The monitoring pipeline reads (prediction) strictly before it writes
+    (execution) within a bin and each bin merges at most one batch per
+    group, so an attached member is never more than one round behind — the
+    three cases above are exhaustive.
+    """
+
+    def __init__(self, interval: float, method: str,
+                 counter_kwargs: dict) -> None:
+        self.interval = float(interval)
+        self.method = method
+        self.counter_kwargs = dict(counter_kwargs)
+        self.counters: List[DistinctCounter] = [
+            make_counter(method, **self.counter_kwargs)
+            for _ in TRAFFIC_AGGREGATES]
+        self.interval_start: Optional[float] = None
+        self.write_round = 0
+        self.heal_round = 0
+        #: The batch merged by the current round; doubles as the dedup
+        #: token so later members' commits of the same batch are no-ops.
+        self.round_batch = None
+        self.snapshot: Optional[List[DistinctCounter]] = None
+        self.members = 0
+        #: Read cache: (batch, write_round, heal_round, values array).
+        self.cache: Optional[tuple] = None
+        # Telemetry (surfaced through session.metrics).
+        self.shared_reads = 0
+        self.computed_reads = 0
+        self.deduped_merges = 0
+        self.forks = 0
+
+    @property
+    def pristine(self) -> bool:
+        """True while no batch has touched the group (joinable state)."""
+        return self.interval_start is None and self.write_round == 0
+
+    def roll(self, batch_start: float) -> None:
+        """Advance the measurement interval; idempotent per batch start.
+
+        Mirrors the private extractor's interval roll exactly.  A wipe
+        heals every member (their private state would have been wiped the
+        same way, erasing any missed merges), so it resets the round
+        bookkeeping too.
+        """
+        if self.interval_start is None:
+            self.interval_start = batch_start
+            return
+        if batch_start - self.interval_start >= self.interval:
+            for counter in self.counters:
+                counter.reset()
+            elapsed = batch_start - self.interval_start
+            steps = int(elapsed // self.interval)
+            self.interval_start += steps * self.interval
+            self.heal_round = self.write_round
+            self.snapshot = None
+            self.round_batch = None
+            self.cache = None
+
+    def begin_round(self, batch) -> None:
+        """Open a merge round for ``batch`` (called by the first committer)."""
+        if self.members > 1:
+            self.snapshot = [counter.copy() for counter in self.counters]
+        self.write_round += 1
+        self.round_batch = batch
+
+
+class FeatureStateRegistry:
+    """Registry of shared :class:`IntervalState` groups for one system.
+
+    ``acquire`` joins an existing group only while it is *pristine* (no
+    batch seen yet): extractors created together — at system construction,
+    at a reset, or in the same bin-boundary reconfiguration — share state,
+    while a query arriving after the stream started gets a fresh group (its
+    private state would start empty, unlike the running group's).
+    """
+
+    def __init__(self) -> None:
+        self._groups: Dict[tuple, IntervalState] = {}
+
+    def acquire(self, interval: float, method: str, counter_kwargs: dict,
+                share_key) -> IntervalState:
+        key = (float(interval), method,
+               tuple(sorted(counter_kwargs.items())), share_key)
+        group = self._groups.get(key)
+        if group is None or not group.pristine:
+            group = IntervalState(interval, method, counter_kwargs)
+            self._groups[key] = group
+        group.members += 1
+        return group
+
+    def release(self, group: IntervalState) -> None:
+        group.members = max(0, group.members - 1)
+
+    def clear(self) -> None:
+        """Drop every group (start of a fresh execution).
+
+        Members re-acquire on their own reset, so the reset order matters:
+        clear the registry first, then reset the extractors.
+        """
+        self._groups.clear()
+
+    def stats(self) -> Dict[str, float]:
+        """Aggregate sharing telemetry across the registry's groups."""
+        groups = list(self._groups.values())
+        return {
+            "groups": len(groups),
+            "members": int(sum(g.members for g in groups)),
+            "shared_reads": int(sum(g.shared_reads for g in groups)),
+            "computed_reads": int(sum(g.computed_reads for g in groups)),
+            "deduped_merges": int(sum(g.deduped_merges for g in groups)),
+            "forks": int(sum(g.forks for g in groups)),
+        }
+
+
+#: Sync states of an attached extractor relative to its group.
+_SYNC = "sync"
+_FORK_SNAPSHOT = "snapshot"
+_FORK_PRISTINE = "pristine"
+
+
 class FeatureExtractor:
     """Extracts the 42 traffic features from batches for one query.
 
@@ -94,6 +241,14 @@ class FeatureExtractor:
     counters; the state resets automatically when a batch belonging to a new
     measurement interval arrives, so callers simply feed batches in time
     order.
+
+    When constructed with a ``registry`` and a ``share_key``, the interval
+    state is shared through an :class:`IntervalState` group: extractors
+    with the same interval, counter backend and filter pay one set of
+    merges and ``new_estimate`` reads per bin instead of one per query,
+    with bit-identical results.  An extractor silently *forks* back to
+    private state the moment its own stream diverges from the group's
+    (sampled extraction, a fully shed bin, a mid-stream join).
 
     Parameters
     ----------
@@ -104,11 +259,19 @@ class FeatureExtractor:
     counter_kwargs:
         Extra arguments passed to the bitmap constructor (e.g. smaller
         bitmaps to trade accuracy for speed).
+    registry:
+        Optional :class:`FeatureStateRegistry` to share interval state
+        through.
+    share_key:
+        Hashable key identifying the packet stream this extractor sees
+        (the query filter's ``cache_key``); ``None`` disables sharing.
     """
 
     def __init__(self, measurement_interval: float = 1.0,
                  method: str = "bitmap",
-                 counter_kwargs: Optional[dict] = None) -> None:
+                 counter_kwargs: Optional[dict] = None,
+                 registry: Optional[FeatureStateRegistry] = None,
+                 share_key=None) -> None:
         if measurement_interval <= 0:
             raise ValueError("measurement_interval must be positive")
         self.measurement_interval = float(measurement_interval)
@@ -123,9 +286,21 @@ class FeatureExtractor:
         self._interval_start: Optional[float] = None
         # Cache of the per-aggregate batch counters built by the most recent
         # ``extract(..., update_state=False)`` call, so that ``commit`` can
-        # merge them without recomputing hashes.
-        self._pending_batch_id: Optional[int] = None
+        # merge them without recomputing hashes.  The batch itself is held
+        # (not its ``id()``): an id can be recycled after the batch is
+        # garbage-collected, silently merging stale counters.
+        self._pending_batch = None
         self._pending_counters: Optional[List[DistinctCounter]] = None
+        self._registry = registry
+        self._share_key = share_key
+        self._group: Optional[IntervalState] = None
+        #: Group round this member has merged through (attached mode only).
+        self._synced = 0
+        self._participated = False
+        if registry is not None and share_key is not None:
+            self._group = registry.acquire(
+                self.measurement_interval, method, self._counter_kwargs,
+                share_key)
         #: Number of cycles charged per extracted feature value; used by the
         #: shedding scheme to account for its own overhead (Table 3.4).
         self.cycles_per_packet = 12.0
@@ -133,6 +308,11 @@ class FeatureExtractor:
 
     def _new_counter(self) -> DistinctCounter:
         return make_counter(self.method, **self._counter_kwargs)
+
+    @property
+    def shared(self) -> bool:
+        """True while the interval state lives in a shared group."""
+        return self._group is not None
 
     def _batch_counter(self, batch: "Batch", columns: Tuple[str, ...]
                        ) -> Tuple[DistinctCounter, float]:
@@ -151,12 +331,107 @@ class FeatureExtractor:
 
     # ------------------------------------------------------------------
     def reset(self) -> None:
-        """Drop all interval state (start of a fresh execution)."""
+        """Drop all interval state (start of a fresh execution).
+
+        A sharing extractor re-acquires a group from its registry, so a
+        reset re-establishes sharing even after a mid-run fork (the system
+        clears the registry first, making every re-acquired group fresh).
+        """
         self._interval_counters = [self._new_counter()
                                    for _ in TRAFFIC_AGGREGATES]
         self._interval_start = None
-        self._pending_batch_id = None
+        self._pending_batch = None
         self._pending_counters = None
+        self.release()
+        self._synced = 0
+        self._participated = False
+        if self._registry is not None and self._share_key is not None:
+            self._group = self._registry.acquire(
+                self.measurement_interval, self.method, self._counter_kwargs,
+                self._share_key)
+
+    def release(self) -> None:
+        """Leave the shared group (query removal / extractor teardown)."""
+        if self._group is not None:
+            self._registry.release(self._group)
+            self._group = None
+
+    # ------------------------------------------------------------------
+    # Shared-group protocol
+    # ------------------------------------------------------------------
+    def _sync_state(self, batch_start: float) -> str:
+        """Classify this member against the group's current round."""
+        group = self._group
+        if self._participated:
+            effective = max(self._synced, group.heal_round)
+            if effective == group.write_round:
+                return _SYNC
+            if effective == group.write_round - 1:
+                if group.snapshot is None:  # pragma: no cover - defensive
+                    raise RuntimeError(
+                        "shared interval state lost its fork snapshot")
+                return _FORK_SNAPSHOT
+            raise RuntimeError(  # pragma: no cover - defensive
+                "shared interval state diverged beyond repair (member "
+                f"round {effective}, group round {group.write_round}); "
+                "batches must flow through the monitoring pipeline")
+        # Never merged or read anything yet: in lockstep only if the group
+        # still holds exactly what a pristine private extractor would
+        # (empty counters, aligned interval).
+        if group.write_round == group.heal_round \
+                and group.interval_start == batch_start:
+            return _SYNC
+        return _FORK_PRISTINE
+
+    def _detach(self, state: str) -> None:
+        """Fork private interval state out of the group and leave it."""
+        group = self._group
+        if state == _SYNC:
+            self._interval_counters = [c.copy() for c in group.counters]
+            self._interval_start = group.interval_start
+        elif state == _FORK_SNAPSHOT:
+            self._interval_counters = [c.copy() for c in group.snapshot]
+            self._interval_start = group.interval_start
+        else:  # pristine: nothing observed yet, start from scratch
+            self._interval_counters = [self._new_counter()
+                                       for _ in TRAFFIC_AGGREGATES]
+            self._interval_start = None
+        group.forks += 1
+        self.release()
+
+    @staticmethod
+    def _empty_vector(batch: "Batch") -> FeatureVector:
+        """The feature vector of an empty batch (no counter state touched)."""
+        values = np.zeros(NUM_FEATURES, dtype=np.float64)
+        values[1] = float(batch.byte_count)
+        return FeatureVector(values)
+
+    def _read_shared(self, batch: "Batch") -> FeatureVector:
+        """Read the feature vector through the group (no state change)."""
+        group = self._group
+        cache = group.cache
+        if (cache is not None and cache[0] is batch
+                and cache[1] == group.write_round
+                and cache[2] == group.heal_round):
+            group.shared_reads += 1
+            return FeatureVector(cache[3])
+        n_packets = float(len(batch))
+        values = np.zeros(NUM_FEATURES, dtype=np.float64)
+        values[0] = n_packets
+        values[1] = float(batch.byte_count)
+        idx = 2
+        for agg_index, (_, columns) in enumerate(TRAFFIC_AGGREGATES):
+            batch_counter, unique = self._batch_counter(batch, columns)
+            new = max(0.0,
+                      group.counters[agg_index].new_estimate(batch_counter))
+            values[idx] = unique
+            values[idx + 1] = new
+            values[idx + 2] = max(0.0, n_packets - unique)
+            values[idx + 3] = max(0.0, n_packets - new)
+            idx += 4
+        group.cache = (batch, group.write_round, group.heal_round, values)
+        group.computed_reads += 1
+        return FeatureVector(values)
 
     def _maybe_roll_interval(self, batch_start: float) -> None:
         if self._interval_start is None:
@@ -180,6 +455,30 @@ class FeatureExtractor:
         then re-extracts (with ``update_state=True``) on the sampled batch so
         the regression history matches what the query actually processed.
         """
+        if self._group is not None:
+            group = self._group
+            group.roll(batch.start_ts)
+            state = self._sync_state(batch.start_ts)
+            if len(batch) == 0:
+                # An empty batch changes no counter state on either path,
+                # so an in-sync member can stay attached.
+                if state == _SYNC:
+                    self._participated = True
+                    self._synced = group.write_round
+                    self._pending_batch = None
+                    self._pending_counters = None
+                    return self._empty_vector(batch)
+                self._detach(state)
+            elif not update_state and state == _SYNC:
+                self._participated = True
+                self._synced = group.write_round
+                self._pending_batch = None
+                self._pending_counters = None
+                return self._read_shared(batch)
+            else:
+                # A state-updating extract on a non-group batch (sampled
+                # path) — or any out-of-sync access — forks private state.
+                self._detach(state)
         self._maybe_roll_interval(batch.start_ts)
         n_packets = float(len(batch))
         values = np.zeros(NUM_FEATURES, dtype=np.float64)
@@ -205,10 +504,10 @@ class FeatureExtractor:
             values[idx + 3] = max(0.0, n_packets - new)
             idx += 4
         if update_state:
-            self._pending_batch_id = None
+            self._pending_batch = None
             self._pending_counters = None
         else:
-            self._pending_batch_id = id(batch)
+            self._pending_batch = batch
             self._pending_counters = pending
         return FeatureVector(values)
 
@@ -220,11 +519,43 @@ class FeatureExtractor:
         call are reused for the regression history and only the interval
         counters need updating.  Falls back to a full recomputation when the
         batch differs from the one last extracted.
+
+        On a shared group the first committer of a bin merges the batch for
+        everyone (one round); the other members' commits of the same batch
+        object are dedup no-ops — this is where N-queries-one-merge comes
+        from.
         """
+        if self._group is not None:
+            group = self._group
+            group.roll(batch.start_ts)
+            if len(batch) == 0:
+                return
+            if group.round_batch is batch and self._participated:
+                effective = max(self._synced, group.heal_round)
+                if effective >= group.write_round - 1:
+                    # This batch is exactly the current round's merge:
+                    # someone already folded it in on our behalf.
+                    self._synced = group.write_round
+                    group.deduped_merges += 1
+                    self._pending_batch = None
+                    self._pending_counters = None
+                    return
+            state = self._sync_state(batch.start_ts)
+            if state == _SYNC:
+                group.begin_round(batch)
+                for agg_index, (_, columns) in enumerate(TRAFFIC_AGGREGATES):
+                    batch_counter, _ = self._batch_counter(batch, columns)
+                    group.counters[agg_index].merge(batch_counter)
+                self._participated = True
+                self._synced = group.write_round
+                self._pending_batch = None
+                self._pending_counters = None
+                return
+            self._detach(state)
         self._maybe_roll_interval(batch.start_ts)
         if len(batch) == 0:
             return
-        if (self._pending_batch_id == id(batch)
+        if (self._pending_batch is batch
                 and self._pending_counters is not None):
             for counter, pending in zip(self._interval_counters,
                                         self._pending_counters):
@@ -233,7 +564,7 @@ class FeatureExtractor:
             for agg_index, (_, columns) in enumerate(TRAFFIC_AGGREGATES):
                 batch_counter, _ = self._batch_counter(batch, columns)
                 self._interval_counters[agg_index].merge(batch_counter)
-        self._pending_batch_id = None
+        self._pending_batch = None
         self._pending_counters = None
 
     def extraction_cost(self, batch: "Batch") -> float:
@@ -246,6 +577,17 @@ class FeatureExtractor:
         return self.cycles_fixed + self.cycles_per_packet * len(batch)
 
 
+@lru_cache(maxsize=None)
+def _name_indices(names: Tuple[str, ...]) -> np.ndarray:
+    """Precomputed fancy-index array for a tuple of canonical feature names."""
+    return np.array([_FEATURE_INDEX[name] for name in names], dtype=np.intp)
+
+
 def select_values(vector: FeatureVector, names: Sequence[str]) -> np.ndarray:
-    """Return the values of the named features as an array."""
-    return np.array([vector[name] for name in names], dtype=np.float64)
+    """Return the values of the named features as an array.
+
+    Resolves the names once into a cached fancy-index array (the name
+    universe is the fixed canonical feature set), so repeated selection is
+    a single vectorised gather instead of a per-name Python loop.
+    """
+    return vector.values[_name_indices(tuple(names))]

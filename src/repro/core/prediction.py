@@ -104,14 +104,18 @@ class SLRPredictor(CyclePredictor):
         self._feature_index = FEATURE_NAMES.index(feature)
         self.history = SlidingHistory(history)
         self._model = MultipleLinearRegression()
+        self._fit_version: Optional[int] = None
 
     def predict(self, features: FeatureVector) -> float:
         if len(self.history) < 2:
             # Not enough observations: fall back to the last measured value.
             responses = self.history.responses()
             return float(responses[-1]) if len(responses) else 0.0
-        matrix = self.history.feature_matrix([self._feature_index])
-        self._model.fit(matrix, self.history.responses())
+        if self._fit_version != self.history.version \
+                or not self._model.is_fitted:
+            matrix = self.history.feature_matrix([self._feature_index])
+            self._model.fit(matrix, self.history.responses())
+            self._fit_version = self.history.version
         values = _feature_values(features)
         prediction = self._model.predict(
             np.array([values[self._feature_index]]))
@@ -127,14 +131,19 @@ class SLRPredictor(CyclePredictor):
     def reset(self) -> None:
         self.history.clear()
         self._model = MultipleLinearRegression()
+        self._fit_version = None
 
 
 class MLRPredictor(CyclePredictor):
     """FCBF feature selection + multiple linear regression (the paper's method).
 
-    Every prediction re-runs feature selection on the current history, so the
-    model adapts when traffic changes make the previous feature set obsolete
-    (Section 3.1).  The selected feature names are exposed through
+    Feature selection reruns whenever the history window changed since the
+    last fit, so the model adapts when traffic changes make the previous
+    feature set obsolete (Section 3.1).  When the window is *unchanged*
+    (e.g. a fully shed query whose measurements never arrive), the selected
+    set and the fitted model are reused — the memo only skips real CPU; the
+    simulated overhead charge is computed identically either way, so results
+    stay bit-identical.  The selected feature names are exposed through
     :attr:`selected_features` for reporting (Table 3.2).
     """
 
@@ -147,6 +156,7 @@ class MLRPredictor(CyclePredictor):
         self._model = MultipleLinearRegression()
         self._selected: List[int] = []
         self._overhead = 0.0
+        self._fit_version: Optional[int] = None
         #: Cycle cost charged per coefficient of the fitted MLR; with FCBF
         #: pruning this keeps the regression share of the overhead small
         #: (Table 3.4).
@@ -168,15 +178,20 @@ class MLRPredictor(CyclePredictor):
         if n < 2:
             responses = self.history.responses()
             return float(responses[-1]) if len(responses) else 0.0
-        matrix, responses = self.history.observations()
-        self._selected = fcbf_select(matrix, responses,
-                                     threshold=self.fcbf_threshold)
-        selected_matrix = matrix[:, self._selected]
-        self._model.fit(selected_matrix, responses)
+        if self._fit_version != self.history.version \
+                or not self._model.is_fitted:
+            matrix, responses = self.history.observations()
+            self._selected = fcbf_select(matrix, responses,
+                                         threshold=self.fcbf_threshold)
+            selected_matrix = matrix[:, self._selected]
+            self._model.fit(selected_matrix, responses)
+            self._fit_version = self.history.version
         values = _feature_values(features)
         prediction = self._model.predict(values[self._selected])
+        # The simulated charge models what the real system would pay each
+        # bin; it must not depend on whether the memo hit.
         self._overhead = (
-            selection_cost(n, matrix.shape[1]) +
+            selection_cost(n, self.history.width) +
             self.cycles_per_mlr_term * n * (len(self._selected) + 1))
         return max(0.0, float(prediction))
 
@@ -192,6 +207,7 @@ class MLRPredictor(CyclePredictor):
         self._model = MultipleLinearRegression()
         self._selected = []
         self._overhead = 0.0
+        self._fit_version = None
 
 
 class PredictionErrorTracker:

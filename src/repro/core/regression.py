@@ -16,8 +16,7 @@ Two thin wrappers are provided on top of the solver:
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -95,50 +94,103 @@ class SlidingHistory:
     Section 3.3.1 (60 batches, i.e. 6 s, by default).  Observations corrupted
     by context switches are replaced by their predicted value through
     :meth:`replace_last`, as described in Section 4.4.
+
+    Storage is a preallocated ``2 * length`` slide buffer: appends write at a
+    moving cursor, and only when the cursor runs off the end are the last
+    ``length`` rows block-copied back to the front.  The window is therefore
+    always a contiguous slice, so :meth:`feature_matrix` and
+    :meth:`responses` are zero-copy views — no per-prediction ``vstack``.
+    The views alias live storage: they are valid until the next ``append``
+    and must not be mutated (every consumer feeds them straight into a
+    fit/selection pass, which copies).
+
+    :attr:`version` counts every mutation (append / replace / clear), so
+    predictors can skip refitting when the window genuinely did not change.
     """
 
     def __init__(self, length: int = 60) -> None:
         if length < 2:
             raise ValueError("history length must be >= 2")
         self.length = length
-        self._features: Deque[np.ndarray] = deque(maxlen=length)
-        self._cycles: Deque[float] = deque(maxlen=length)
+        #: Lazily allocated on the first append, once the feature width is
+        #: known (a cleared history may be refilled with a new width).
+        self._features: Optional[np.ndarray] = None
+        self._cycles = np.zeros(2 * length, dtype=np.float64)
+        self._pos = 0
+        self._count = 0
+        self._version = 0
 
     def __len__(self) -> int:
-        return len(self._cycles)
+        return self._count
 
     @property
     def is_full(self) -> bool:
-        return len(self) == self.length
+        return self._count == self.length
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter; unchanged value ⇒ unchanged window."""
+        return self._version
+
+    @property
+    def width(self) -> int:
+        """Feature-vector width of the stored observations (0 when empty)."""
+        return 0 if self._features is None else int(self._features.shape[1])
 
     def append(self, features: np.ndarray, cycles: float) -> None:
-        self._features.append(np.asarray(features, dtype=np.float64))
-        self._cycles.append(float(cycles))
+        row = np.asarray(features, dtype=np.float64).reshape(-1)
+        if self._features is None:
+            self._features = np.zeros((2 * self.length, row.shape[0]),
+                                      dtype=np.float64)
+        elif row.shape[0] != self._features.shape[1]:
+            if self._count:
+                raise ValueError(
+                    f"feature width changed mid-history: expected "
+                    f"{self._features.shape[1]}, got {row.shape[0]}")
+            self._features = np.zeros((2 * self.length, row.shape[0]),
+                                      dtype=np.float64)
+        if self._pos == 2 * self.length:
+            # Cursor ran off the end: slide the window back to the front.
+            self._features[:self.length] = self._features[self.length:]
+            self._cycles[:self.length] = self._cycles[self.length:]
+            self._pos = self.length
+        self._features[self._pos] = row
+        self._cycles[self._pos] = float(cycles)
+        self._pos += 1
+        self._count = min(self._count + 1, self.length)
+        self._version += 1
 
     def replace_last(self, cycles: float) -> None:
         """Replace the response of the most recent observation."""
-        if not self._cycles:
+        if not self._count:
             raise IndexError("history is empty")
-        self._cycles[-1] = float(cycles)
+        self._cycles[self._pos - 1] = float(cycles)
+        self._version += 1
 
     def feature_matrix(self, indices: Optional[Sequence[int]] = None
                        ) -> np.ndarray:
         """Return the stored feature vectors as an ``(n, p)`` matrix.
 
-        ``indices`` optionally selects a subset of feature columns.
+        ``indices`` optionally selects a subset of feature columns.  Without
+        ``indices`` the result is a zero-copy view of the live buffer (valid
+        until the next append; do not mutate); column selection copies.
         """
-        matrix = np.vstack(self._features) if self._features else \
-            np.empty((0, 0))
+        if self._count == 0 or self._features is None:
+            return np.empty((0, 0))
+        matrix = self._features[self._pos - self._count:self._pos]
         if indices is not None and matrix.size:
             matrix = matrix[:, list(indices)]
         return matrix
 
     def responses(self) -> np.ndarray:
-        return np.array(self._cycles, dtype=np.float64)
+        """The response vector, as a zero-copy view of the live buffer."""
+        return self._cycles[self._pos - self._count:self._pos]
 
     def clear(self) -> None:
-        self._features.clear()
-        self._cycles.clear()
+        self._features = None
+        self._pos = 0
+        self._count = 0
+        self._version += 1
 
     def observations(self) -> Tuple[np.ndarray, np.ndarray]:
         """The full (features, cycles) history as arrays."""

@@ -40,6 +40,7 @@ stage that finishes the bin early sets ``ctx.record`` and the pipeline stops.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -296,10 +297,31 @@ class BinPipeline:
                 clock: "CycleClock", buffer: CaptureBuffer) -> BinRecord:
         """Run ``batch`` through the stages and return the bin's record."""
         ctx = BinContext(index=index, batch=batch, clock=clock, buffer=buffer)
-        for stage in self.stages:
-            stage.run(system, ctx)
-            if ctx.record is not None:
-                break
+        profiler = getattr(system, "profiler", None)
+        if profiler is None:
+            for stage in self.stages:
+                stage.run(system, ctx)
+                if ctx.record is not None:
+                    break
+        else:
+            bin_seconds = 0.0
+            for stage in self.stages:
+                cycles_before = clock.current.total
+                started = perf_counter()
+                stage.run(system, ctx)
+                elapsed = perf_counter() - started
+                cycles_after = clock.current.total
+                # ``start_bin``/``end_bin`` inside a stage reset or close the
+                # usage record; a shrinking total means the stage opened a
+                # fresh bin, so its own charges are the post value.
+                delta = cycles_after - cycles_before
+                if delta < 0.0:
+                    delta = cycles_after
+                profiler.record(type(stage).__name__, elapsed, delta)
+                bin_seconds += elapsed
+                if ctx.record is not None:
+                    break
+            profiler.end_bin(bin_seconds)
         if ctx.record is None:  # pragma: no cover - defensive
             raise RuntimeError("pipeline finished without producing a record")
         return ctx.record

@@ -122,6 +122,22 @@ class MonitoringSession:
         """Queries currently registered (pending changes not yet applied)."""
         return self.system.query_names
 
+    @property
+    def metrics(self) -> Dict:
+        """Operational metrics of the execution so far (JSON-able).
+
+        ``profile`` is the per-stage wall-time/cycle breakdown recorded by
+        :class:`repro.profile.StageProfiler` (with p50/p95/p99 per-bin
+        latency percentiles); ``feature_sharing`` reports the shared
+        feature-state registry — group/member counts and how many
+        extraction reads and counter merges were served from shared state
+        instead of being recomputed per query.
+        """
+        return {
+            "profile": self.system.profiler.summary(),
+            "feature_sharing": self.system.feature_states.stats(),
+        }
+
     # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------

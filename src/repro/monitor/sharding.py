@@ -62,6 +62,7 @@ import numpy as np
 
 from ..core.cycles import CycleBudget
 from ..core.pool import effective_workers, fork_pool_map, pool_state
+from ..profile import merged_summary
 from .config import SystemConfig
 from .packet import HEADER_FIELDS, Batch, PacketTrace, as_trace
 from .pipeline import BinRecord
@@ -465,6 +466,8 @@ class ShardedSession:
         self._prev_load: List[Optional[Tuple[int, float]]] = \
             [None] * self.num_shards
         self._closed_result: Optional[ExecutionResult] = None
+        #: Metrics snapshot taken at close time (workers are gone after).
+        self._closed_metrics: Optional[Dict] = None
 
     # ------------------------------------------------------------------
     @property
@@ -492,6 +495,36 @@ class ShardedSession:
         metrics) can report shard skew without poking at internals.
         """
         return list(self._prev_load)
+
+    @property
+    def metrics(self) -> Dict:
+        """Operational metrics folded across the shards (JSON-able).
+
+        Same shape as :attr:`MonitoringSession.metrics` — per-stage
+        profile plus feature-sharing registry stats — with per-shard stage
+        totals summed and per-bin latency series concatenated.  On the
+        workers backend the shard numbers are fetched over the command
+        pipes (FIFO with the batches, so they land at a bin boundary); a
+        closed session returns the snapshot taken at close time.
+        """
+        if self._closed_metrics is not None:
+            return self._closed_metrics
+        if self._pool is not None:
+            shards = self._pool.metrics()
+        else:
+            shards = [(session.system.profiler,
+                       session.system.feature_states.stats())
+                      for session in self.sessions]
+        return self._merge_metrics(shards)
+
+    @staticmethod
+    def _merge_metrics(shards: Sequence[Tuple]) -> Dict:
+        sharing: Dict[str, int] = {}
+        for _, stats in shards:
+            for key, value in stats.items():
+                sharing[key] = sharing.get(key, 0) + value
+        return {"profile": merged_summary([prof for prof, _ in shards]),
+                "feature_sharing": sharing}
 
     # ------------------------------------------------------------------
     def ingest(self, batch: Batch) -> BinRecord:
@@ -551,9 +584,14 @@ class ShardedSession:
         if self._closed_result is not None:
             return self._closed_result
         if self._pool is not None:
+            self._closed_metrics = self._merge_metrics(self._pool.metrics())
             results = self._pool.close()
         else:
             results = [session.close() for session in self.sessions]
+            self._closed_metrics = self._merge_metrics(
+                [(session.system.profiler,
+                  session.system.feature_states.stats())
+                 for session in self.sessions])
         self._closed_result = merge_execution_results(
             results, self._query_classes, self.budget, self.name)
         return self._closed_result

@@ -32,7 +32,8 @@ import numpy as np
 from ..core.custom import CustomShedEnforcer
 from ..core.cycles import CycleBudget, CycleClock
 from ..core.fairness import QueryDemand
-from ..core.features import FeatureExtractor, FeatureVector
+from ..core.features import (FeatureExtractor, FeatureStateRegistry,
+                             FeatureVector)
 from ..core.prediction import CyclePredictor, make_predictor
 from ..core.sampling import FlowSampler, PacketSampler
 from ..core.shedding import LoadSheddingController, reactive_rate
@@ -221,6 +222,13 @@ class MonitoringSystem:
 
         self.controller = LoadSheddingController(strategy=config.strategy)
         self.enforcer = CustomShedEnforcer()
+        #: Shared per-interval feature state: queries with the same filter,
+        #: measurement interval and counter backend pay one set of counter
+        #: merges/reads per bin (``config.feature_sharing`` gates it).
+        self.feature_states = FeatureStateRegistry()
+        #: Per-stage wall-time/cycle telemetry (see :mod:`repro.profile`).
+        from ..profile import StageProfiler
+        self.profiler = StageProfiler()
         #: Per-bin data path; replaceable with a custom stage tuple.
         self.pipeline = BinPipeline()
         self._runtimes: Dict[str, _QueryRuntime] = {}
@@ -241,10 +249,14 @@ class MonitoringSystem:
             raise ValueError(f"a query named {query.name!r} is already registered")
         seed = int(self._rng.integers(0, 2 ** 31))
         predictor = make_predictor(self.predictor_kind, **self.predictor_kwargs)
+        share_key = query.feature_share_key \
+            if self.config.feature_sharing else None
         extractor = FeatureExtractor(
             measurement_interval=query.measurement_interval,
             method=self.feature_method,
             counter_kwargs=self.feature_kwargs,
+            registry=self.feature_states if share_key is not None else None,
+            share_key=share_key,
         )
         if query.sampling_method == SAMPLING_FLOW:
             sampler = FlowSampler(rng=np.random.default_rng(seed),
@@ -264,7 +276,9 @@ class MonitoringSystem:
         not inherit the violation history (or correction factor) of the old
         one, which would get it disabled for sins it never committed.
         """
-        self._runtimes.pop(name, None)
+        runtime = self._runtimes.pop(name, None)
+        if runtime is not None:
+            runtime.extractor.release()
         self.enforcer.reset(name)
         self.controller.forget_query(name)
 
@@ -308,10 +322,15 @@ class MonitoringSystem:
         return session.ingest_trace(trace).close()
 
     def _reset(self) -> None:
+        # Clear the registry *before* resetting the runtimes: each
+        # extractor re-acquires on reset, so the first one re-creates a
+        # pristine group the rest join.
+        self.feature_states.clear()
         for runtime in self._runtimes.values():
             runtime.reset()
         self.controller.reset()
         self.enforcer.reset()
+        self.profiler.reset()
         self._prev_reactive_rate = 1.0
         self._prev_query_cycles = 0.0
 

@@ -164,6 +164,12 @@ def _shard_worker_main(shard_index: int, config, query_factory,
                 session.remove_query(message[1])
             elif kind == "partial":
                 results.send(("partial", message[1], session.partial_result()))
+            elif kind == "metrics":
+                # Ship the live profiler and sharing stats; the parent folds
+                # the per-shard profiles into one summary.
+                results.send(("metrics", message[1],
+                              (session.system.profiler,
+                               session.system.feature_states.stats())))
             elif kind == "state":
                 # Checkpoint capture: ship the whole session back.  Pickling
                 # it over the pipe *is* the snapshot — the parent receives a
@@ -472,6 +478,19 @@ class ShardWorkerPool:
             self._send(worker, ("partial", worker.seq))
             seqs.append(worker.seq)
         return [self._await_payload(worker, seq, "partial")
+                for worker, seq in zip(self._workers, seqs)]
+
+    def metrics(self) -> List:
+        """Per-shard ``(profiler, sharing_stats)`` pairs (sessions keep
+        running).  FIFO with the batches, so each shard's numbers land at a
+        bin boundary."""
+        self._check_usable()
+        seqs = []
+        for worker in self._workers:
+            worker.seq += 1
+            self._send(worker, ("metrics", worker.seq))
+            seqs.append(worker.seq)
+        return [self._await_payload(worker, seq, "metrics")
                 for worker, seq in zip(self._workers, seqs)]
 
     def session_states(self) -> List:

@@ -54,6 +54,14 @@ __all__ = ["MonitorDaemon"]
 #: per-execution state and needs a restart (or a checkpoint/restore cycle).
 LIVE_CONFIG_FIELDS = ("cycles_per_second",)
 
+#: Ingest batching: up to this many queued bins ride one executor offload.
+#: Each bin still locks individually inside the chunk, so ops requests keep
+#: their between-bins view; the chunk only amortises the event-loop round
+#: trip per bin, which dominated daemon overhead on dense feeds.
+_INGEST_CHUNK = 8
+#: Bound on the feed-to-ingest handoff queue (bins).
+_INGEST_QUEUE_BINS = 32
+
 
 class MonitorDaemon:
     """One monitoring session, one feed, one ops API, run as a service.
@@ -147,6 +155,11 @@ class MonitorDaemon:
         self._last_record = None
         self._checkpoints_written = 0
         self.checkpoint_path: Optional[Path] = None
+        #: ``(bins_ingested, snapshot)`` cache for the read-side ops: the
+        #: session only changes when a bin lands, so polls between bins can
+        #: reuse the same snapshot instead of re-copying the logs (and, on
+        #: the workers backend, re-crossing the worker pipes) per request.
+        self._partial_cache: Optional[tuple] = None
 
         # Trace rotation state.
         self._writer: Optional[TraceWriter] = None
@@ -213,15 +226,43 @@ class MonitorDaemon:
             except (NotImplementedError, RuntimeError, ValueError):
                 pass  # non-main thread or unsupported platform
         await self._api.start()
-        try:
+        queue: asyncio.Queue = asyncio.Queue(maxsize=_INGEST_QUEUE_BINS)
+        sentinel = object()
+
+        async def pump() -> None:
             async for batch in self.feed.batches():
-                if self._stopping:
+                await queue.put(batch)
+            await queue.put(sentinel)
+
+        pump_task = asyncio.ensure_future(pump())
+        try:
+            done = False
+            while not done and not self._stopping:
+                batch = await queue.get()
+                if batch is sentinel:
                     break
-                await loop.run_in_executor(None, self._ingest_one, batch)
+                chunk = [batch]
+                # Drain whatever else is already queued (bounded): one
+                # executor round trip then covers the whole chunk.
+                while len(chunk) < _INGEST_CHUNK:
+                    try:
+                        extra = queue.get_nowait()
+                    except asyncio.QueueEmpty:
+                        break
+                    if extra is sentinel:
+                        done = True
+                        break
+                    chunk.append(extra)
+                await loop.run_in_executor(None, self._ingest_chunk, chunk)
                 if (self.max_bins is not None
                         and self.bins_ingested >= self.max_bins):
                     break
         finally:
+            pump_task.cancel()
+            try:
+                await pump_task
+            except asyncio.CancelledError:
+                pass
             for signum in installed:
                 loop.remove_signal_handler(signum)
             self.feed.stop()
@@ -233,6 +274,16 @@ class MonitorDaemon:
         """Begin a graceful shutdown (signal-handler and ops-API safe)."""
         self._stopping = True
         self.feed.stop()
+
+    def _ingest_chunk(self, batches) -> None:
+        """Ingest several queued bins in one executor offload."""
+        for batch in batches:
+            if self._stopping:
+                break
+            self._ingest_one(batch)
+            if (self.max_bins is not None
+                    and self.bins_ingested >= self.max_bins):
+                break
 
     def _ingest_one(self, batch) -> None:
         with self._lock:
@@ -376,7 +427,23 @@ class MonitorDaemon:
         with self._lock:
             if self.session.closed:
                 return self.result
-            return self.session.partial_result()
+            bins = self.session.bins_ingested
+            if (self._partial_cache is not None
+                    and self._partial_cache[0] == bins):
+                return self._partial_cache[1]
+            snapshot = self.session.partial_result()
+            self._partial_cache = (bins, snapshot)
+            return snapshot
+
+    def session_metrics(self) -> Dict:
+        """The session's operational metrics (profiler + feature sharing).
+
+        Same document as :attr:`MonitoringSession.metrics` /
+        :attr:`ShardedSession.metrics`, captured under the lock so it lands
+        at a bin boundary.
+        """
+        with self._lock:
+            return self.session.metrics
 
     def status(self) -> Dict:
         """The ``/status`` document: health, throughput, per-query state."""
@@ -504,6 +571,32 @@ class MonitorDaemon:
                 families.append(_family(
                     "repro_shard_cycles", "gauge",
                     "Cycles each shard spent in the previous bin", samples))
+        metrics = self.session_metrics()
+        profile = metrics["profile"]
+        if profile["stages"]:
+            families.append(_family(
+                "repro_stage_seconds_total", "counter",
+                "Wall seconds spent per pipeline stage",
+                [({"stage": stage}, stats["seconds_total"])
+                 for stage, stats in sorted(profile["stages"].items())]))
+            families.append(_family(
+                "repro_stage_cycles_total", "counter",
+                "Simulated cycles charged per pipeline stage",
+                [({"stage": stage}, stats["cycles_total"])
+                 for stage, stats in sorted(profile["stages"].items())]))
+        latency = profile["bin_seconds"]
+        if latency["n"]:
+            families.append(_family(
+                "repro_bin_pipeline_seconds", "gauge",
+                "Recent per-bin pipeline wall seconds (percentiles)",
+                [({"quantile": q}, latency[q])
+                 for q in ("p50", "p95", "p99")]))
+        sharing = metrics["feature_sharing"]
+        families.append(_family(
+            "repro_feature_sharing", "gauge",
+            "Shared feature-state registry counters",
+            [({"counter": key}, float(value))
+             for key, value in sorted(sharing.items())]))
         return families
 
 
