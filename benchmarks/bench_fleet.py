@@ -1,0 +1,97 @@
+"""Benchmark: federate a 128-node monitoring fleet and prove it exact.
+
+The fleet tier's pitch is "hundreds of monitor nodes, one answer": a
+stream flow-partitioned across N independent predict/shed loops whose
+per-node results fold back — through the same ``RESULT_MERGE`` algebra the
+shard tier uses — into one ``ExecutionResult`` indistinguishable, for
+every merge-exact query, from one node monitoring the whole stream.
+
+This benchmark runs that claim at fleet scale: a 128-node uniform
+flow-hash topology over a dense header-only stream, in reference mode, so
+the federated query logs must be **bit-identical** to the single-node logs
+for every kind whose :data:`repro.queries.MERGE_EXACTNESS` entry is
+``"exact"`` (strict ``==``, no tolerance: with no shedding every reported
+quantity is an integer-valued float and addition order cannot perturb it).
+The headline numbers are the fleet wall time and the per-bin federation
+latency percentiles (p50/p95/p99 of the straggler node's ingest time per
+bin), recorded into ``BENCH_report.json``.
+"""
+
+import time
+
+from conftest import BENCH_SCALE, record_result
+
+from repro.experiments import runner
+from repro.fleet import FleetRunner, FleetTopology
+from repro.queries import MERGE_EXACTNESS, QuerySpec, parse_query_specs
+from repro.traffic import generate_trace
+from repro.traffic.generator import TrafficProfile
+
+NUM_NODES = 128
+#: top-k runs untruncated (k wider than any plausible table) so its merge
+#: stays in the documented exact-prefix regime; with the default k each
+#: node's *local* truncation makes the 128-way merge heuristic.
+QUERY_SPECS = ("counter", "flows", QuerySpec("top-k", {"k": 100_000}))
+TIME_BIN = 0.1
+
+
+def _fleet_stream():
+    """A dense header-only stream worth splitting 128 ways."""
+    profile = TrafficProfile(
+        duration=max(1.0, 2.0 * BENCH_SCALE),
+        flow_arrival_rate=3000.0,
+        with_payloads=False,
+        name="fleet-stream",
+    )
+    return generate_trace(profile, seed=42)
+
+
+def _timed(fn):
+    start = time.perf_counter()
+    out = fn()
+    return out, time.perf_counter() - start
+
+
+def test_fleet_federation_bit_identity(benchmark):
+    trace = _fleet_stream()
+    config = runner.system_config(queries=parse_query_specs(QUERY_SPECS),
+                                  mode="reference",
+                                  cycles_per_second=1e9, seed=21)
+    fleet = FleetRunner(FleetTopology.uniform(NUM_NODES), config=config)
+
+    (result, fleet_seconds), _ = benchmark.pedantic(
+        lambda: (_timed(lambda: fleet.run(trace, time_bin=TIME_BIN)), None),
+        rounds=1, iterations=1, warmup_rounds=0)
+    single, single_seconds = _timed(
+        lambda: config.build().run(trace, time_bin=TIME_BIN))
+
+    federated = result.federated
+    latency = result.report()["bin_latency_seconds"]
+    print()
+    print(f"{NUM_NODES} nodes: {fleet_seconds:.2f}s | 1 node: "
+          f"{single_seconds:.2f}s | {len(trace):,} packets, "
+          f"{len(federated.bins)} bins | per-bin federation latency "
+          f"p50={latency['p50'] * 1e3:.2f}ms p95={latency['p95'] * 1e3:.2f}ms "
+          f"p99={latency['p99'] * 1e3:.2f}ms")
+    record_result("fleet_federation_128", fleet_seconds,
+                  bin_seconds=result.bin_latency, nodes=NUM_NODES,
+                  single_node_seconds=single_seconds, packets=len(trace),
+                  bins=len(federated.bins))
+
+    # The one answer: bit-identical logs for every merge-exact query.
+    assert federated.total_packets == single.total_packets
+    assert federated.dropped_packets == 0 and single.dropped_packets == 0
+    assert len(federated.bins) == len(single.bins)
+    exact = [name for name in federated.query_logs
+             if MERGE_EXACTNESS.get(name) == "exact"]
+    assert sorted(exact) == ["counter", "flows"]
+    for name in exact:
+        log, reference = federated.query_logs[name], single.query_logs[name]
+        assert log.intervals == reference.intervals, name
+        assert log.results == reference.results, name
+    # top-k merges as an exact prefix: the federated ranking must be a
+    # prefix of the single-node one with identical summed volumes.
+    for merged, whole in zip(federated.query_logs["top-k"].results,
+                             single.query_logs["top-k"].results):
+        width = len(merged["ranking"])
+        assert merged["ranking"] == whole["ranking"][:width]

@@ -32,6 +32,8 @@ paper-versus-measured comparison of every reproduced experiment.
 from .core import (EWMAPredictor, FeatureExtractor, LoadSheddingController,
                    MLRPredictor, SLRPredictor)
 from .core.cycles import CycleBudget
+from .fleet import (FleetAggregator, FleetRunner, FleetTopology, NodeSpec,
+                    load_topology)
 from .monitor import (Batch, ExecutionResult, MonitoringSession,
                       MonitoringSystem, PacketTrace, Query,
                       ReproDeprecationWarning, ShardedSession, ShardedSystem,
@@ -40,7 +42,7 @@ from .queries import make_query, standard_queries
 from .traffic import (TraceStore, TraceWriter, generate_trace,
                       generate_trace_store, load_preset, open_trace)
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Batch",
@@ -48,10 +50,14 @@ __all__ = [
     "EWMAPredictor",
     "ExecutionResult",
     "FeatureExtractor",
+    "FleetAggregator",
+    "FleetRunner",
+    "FleetTopology",
     "LoadSheddingController",
     "MLRPredictor",
     "MonitoringSession",
     "MonitoringSystem",
+    "NodeSpec",
     "PacketTrace",
     "Query",
     "ReproDeprecationWarning",
@@ -66,6 +72,7 @@ __all__ = [
     "generate_trace",
     "generate_trace_store",
     "load_preset",
+    "load_topology",
     "make_query",
     "open_trace",
     "standard_queries",

@@ -1,0 +1,74 @@
+"""Fleet-level traffic partitioning: route packets to monitor nodes.
+
+The :class:`FleetPartitioner` turns a topology's partition rule into
+per-packet node assignments and per-node sub-batches.  It rides on
+:meth:`repro.monitor.packet.Batch.partition` with the topology's own
+``partition_key``, so fleet splits get their own memo entries and never
+collide with the shard-level flow-hash splits the nodes themselves perform
+on the very same batches.
+
+Every rule is flow-affine: packets of one flow always land on the same
+node (the 5-tuple hash trivially; source-prefix and ingress routing
+because a flow's source address is constant), which is what keeps per-flow
+query state node-local and the ``RESULT_MERGE`` second tier applicable.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..monitor.packet import Batch
+from ..monitor.sharding import FLOW_FIELDS
+from .topology import FleetTopology
+
+
+class FleetPartitioner:
+    """Assign packets of a batch to the nodes of a topology."""
+
+    def __init__(self, topology: FleetTopology) -> None:
+        self.topology = topology
+        self.num_nodes = topology.num_nodes
+        if topology.partition_by == "flow-hash":
+            # Bucket boundaries over the uint64 hash space, sized by node
+            # weight: node i owns hashes in [bounds[i], bounds[i+1]).
+            weights = np.asarray(topology.weights, dtype=np.float64)
+            cumulative = np.cumsum(weights) / weights.sum()
+            self._bounds = cumulative[:-1] * float(2 ** 64)
+        else:
+            self._bounds = None
+
+    # ------------------------------------------------------------------
+    def assignments(self, batch: Batch) -> np.ndarray:
+        """Per-packet node indices in ``[0, num_nodes)``."""
+        mode = self.topology.partition_by
+        if mode == "flow-hash":
+            hashes = batch.aggregate_hashes(FLOW_FIELDS).astype(np.float64)
+            return np.searchsorted(self._bounds, hashes,
+                                   side="right").astype(np.intp)
+        if mode == "src-prefix":
+            shift = np.uint32(32 - self.topology.prefix_bits)
+            prefixes = np.asarray(batch.src_ip, dtype=np.uint32) >> shift
+            return (prefixes % np.uint32(self.num_nodes)).astype(np.intp)
+        # "ingress": every source address enters the network on one link
+        # and each node taps one link, so routing is a stable hash of the
+        # source address alone.
+        hashes = batch.aggregate_hashes(("src_ip",))
+        return (hashes % np.uint64(self.num_nodes)).astype(np.intp)
+
+    def split(self, batch: Batch) -> List[Batch]:
+        """The batch split into one sub-batch per node (order preserved).
+
+        Memoised under the topology's ``partition_key``, so repeated runs
+        over a memoised trace split each batch once — and independently of
+        any shard-level ``batch.partition`` splits of the same batch.
+        """
+        if self.num_nodes == 1:
+            return [batch]
+        return batch.partition(self.num_nodes, FLOW_FIELDS,
+                               partition_key=self.topology.partition_key,
+                               assignments=self.assignments(batch))
+
+
+__all__ = ["FleetPartitioner"]

@@ -448,7 +448,9 @@ class Batch:
         return sub
 
     def partition(self, num_shards: int,
-                  fields: Sequence[str] = HEADER_FIELDS) -> List["Batch"]:
+                  fields: Sequence[str] = HEADER_FIELDS, *,
+                  partition_key: Optional[object] = None,
+                  assignments: Optional[np.ndarray] = None) -> List["Batch"]:
         """Split the batch into ``num_shards`` sub-batches by flow hash.
 
         Every packet is assigned ``combine_columns(fields) % num_shards``,
@@ -460,12 +462,22 @@ class Batch:
         ``start_ts``/``time_bin`` so shards observe the same bin timeline
         (a shard with no packets gets an empty batch, not a missing bin).
 
-        The split is memoised per ``(num_shards, fields)``: repeated
-        executions over a memoised trace partition each batch only once.
+        The split is memoised per ``(num_shards, fields, partition_key)``:
+        repeated executions over a memoised trace partition each batch only
+        once.  A caller with its own assignment rule (the fleet-level
+        partitioner splitting by ingress link, source prefix or weighted
+        flow hash) passes per-packet ``assignments`` in ``[0, num_shards)``
+        plus a hashable ``partition_key`` identifying the rule, so its
+        splits get their own cache entries and never collide with — or
+        evict — the shard-level flow-hash splits of the same batch.
         """
         num_shards = int(num_shards)
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
+        if assignments is not None and partition_key is None:
+            raise ValueError(
+                "custom assignments require an explicit partition_key= "
+                "identifying the assignment rule for the memo cache")
         if num_shards == 1:
             return [self]
         fields = tuple(fields)
@@ -474,8 +486,15 @@ class Batch:
             if len(self) == 0:
                 return [self.select(np.empty(0, dtype=np.intp))
                         for _ in range(num_shards)]
-            shards = (self.aggregate_hashes(fields) %
-                      np.uint64(num_shards)).astype(np.intp)
+            if assignments is not None:
+                shards = np.asarray(assignments).astype(np.intp)
+                if len(shards) != len(self):
+                    raise ValueError(
+                        f"assignments cover {len(shards)} packets, "
+                        f"batch has {len(self)}")
+            else:
+                shards = (self.aggregate_hashes(fields) %
+                          np.uint64(num_shards)).astype(np.intp)
             # One stable sort groups the packets per shard while preserving
             # arrival order inside each group.
             order = np.argsort(shards, kind="stable")
@@ -483,7 +502,8 @@ class Batch:
             return [self.select(order[bounds[s]:bounds[s + 1]])
                     for s in range(num_shards)]
 
-        return self.memo(("partition", num_shards, fields), build)
+        return self.memo(("partition", num_shards, fields, partition_key),
+                         build)
 
     @classmethod
     def empty(cls, time_bin: float = 0.1, start_ts: float = 0.0,

@@ -85,6 +85,60 @@ class BinRecord:
     def mean_rate(self) -> float:
         return float(np.mean(list(self.rates.values()))) if self.rates else 1.0
 
+    @classmethod
+    def merge(cls, records: Sequence["BinRecord"]) -> "BinRecord":
+        """Fold per-partition records of the same time bin into a global one.
+
+        The public second-tier merge: shards of one host and nodes of a
+        fleet both fold through it.  Packet and cycle quantities are
+        additive across partitions; ``delay`` and ``buffer_occupation``
+        report the *worst* partition (the one closest to uncontrolled
+        drops); per-query rates average across the partition instances of
+        each query.
+
+        The fold is associative and permutation-invariant: any grouping or
+        ordering of the same records merges to the same values (sums and
+        maxima commute; the rate average is over the multiset of per-
+        partition rates, which nested merges preserve only when groups are
+        merged once — merge a flat list, or accept the grouped average,
+        which the fleet tier does knowingly for its already-averaged shard
+        rates).  ``index``/``start_ts`` are taken from the first record;
+        callers are expected to merge records of the same bin only.
+        """
+        records = list(records)
+        if len(records) == 1:
+            return records[0]
+        first = records[0]
+        rates: Dict[str, List[float]] = {}
+        cycles_by_query: Dict[str, float] = {}
+        for record in records:
+            for name, rate in record.rates.items():
+                rates.setdefault(name, []).append(rate)
+            for name, cycles in record.query_cycles_by_query.items():
+                cycles_by_query[name] = cycles_by_query.get(name, 0.0) + cycles
+        return cls(
+            index=first.index, start_ts=first.start_ts,
+            incoming_packets=int(sum(r.incoming_packets for r in records)),
+            incoming_bytes=int(sum(r.incoming_bytes for r in records)),
+            dropped_packets=int(sum(r.dropped_packets for r in records)),
+            unsampled_packets=float(sum(r.unsampled_packets
+                                        for r in records)),
+            predicted_cycles=float(sum(r.predicted_cycles for r in records)),
+            query_cycles=float(sum(r.query_cycles for r in records)),
+            prediction_overhead=float(sum(r.prediction_overhead
+                                          for r in records)),
+            shedding_overhead=float(sum(r.shedding_overhead
+                                        for r in records)),
+            system_overhead=float(sum(r.system_overhead for r in records)),
+            available_cycles=float(sum(r.available_cycles for r in records)),
+            delay=float(max(r.delay for r in records)),
+            buffer_occupation=float(max(r.buffer_occupation
+                                        for r in records)),
+            rates={name: float(np.mean(values))
+                   for name, values in rates.items()},
+            query_cycles_by_query=cycles_by_query,
+        )
+
 
 @dataclass
 class BinContext:

@@ -58,16 +58,14 @@ from __future__ import annotations
 import warnings
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from ..core.cycles import CycleBudget
 from ..core.pool import effective_workers, fork_pool_map, pool_state
 from ..profile import merged_summary
-from .config import SystemConfig
+from .config import ReproDeprecationWarning, SystemConfig
 from .packet import HEADER_FIELDS, Batch, PacketTrace, as_trace
 from .pipeline import BinRecord
 from .query import Query, QueryResultLog
-from .system import ExecutionResult
+from .system import ExecutionResult, merge_query_logs  # noqa: F401 - re-export
 from .workers import (ShardExecutionWarning, ShardWorkerPool,
                       fork_start_available)
 
@@ -87,95 +85,33 @@ def shard_seed(base_seed: int, shard_index: int) -> int:
 
 
 # ----------------------------------------------------------------------
-# Result merging
+# Result merging — deprecated shims
 # ----------------------------------------------------------------------
+# The merge logic is now the public API of the record types themselves:
+# :meth:`BinRecord.merge` and :meth:`ExecutionResult.merge` (plus the
+# module-level :func:`repro.monitor.system.merge_query_logs`, re-exported
+# here).  The free functions below survive as thin deprecated shims.
+
 def merge_bin_records(records: Sequence[BinRecord]) -> BinRecord:
-    """Fold per-shard records of the same time bin into a stream-global one.
-
-    Packet and cycle quantities are additive across shards; ``delay`` and
-    ``buffer_occupation`` report the *worst* shard (the one closest to
-    uncontrolled drops); per-query rates average across the shard instances
-    of each query.
-    """
-    records = list(records)
-    if len(records) == 1:
-        return records[0]
-    first = records[0]
-    rates: Dict[str, List[float]] = {}
-    cycles_by_query: Dict[str, float] = {}
-    for record in records:
-        for name, rate in record.rates.items():
-            rates.setdefault(name, []).append(rate)
-        for name, cycles in record.query_cycles_by_query.items():
-            cycles_by_query[name] = cycles_by_query.get(name, 0.0) + cycles
-    return BinRecord(
-        index=first.index, start_ts=first.start_ts,
-        incoming_packets=int(sum(r.incoming_packets for r in records)),
-        incoming_bytes=int(sum(r.incoming_bytes for r in records)),
-        dropped_packets=int(sum(r.dropped_packets for r in records)),
-        unsampled_packets=float(sum(r.unsampled_packets for r in records)),
-        predicted_cycles=float(sum(r.predicted_cycles for r in records)),
-        query_cycles=float(sum(r.query_cycles for r in records)),
-        prediction_overhead=float(sum(r.prediction_overhead
-                                      for r in records)),
-        shedding_overhead=float(sum(r.shedding_overhead for r in records)),
-        system_overhead=float(sum(r.system_overhead for r in records)),
-        available_cycles=float(sum(r.available_cycles for r in records)),
-        delay=float(max(r.delay for r in records)),
-        buffer_occupation=float(max(r.buffer_occupation for r in records)),
-        rates={name: float(np.mean(values))
-               for name, values in rates.items()},
-        query_cycles_by_query=cycles_by_query,
-    )
-
-
-def merge_query_logs(logs: Sequence[QueryResultLog],
-                     query_cls: type) -> QueryResultLog:
-    """Merge per-shard result logs interval by interval.
-
-    All shards observe the same bin timeline (empty sub-batches included),
-    so their logs flush at identical interval boundaries; a mismatch means
-    the shards diverged and is an error, not something to paper over.
-    """
-    logs = list(logs)
-    if len(logs) == 1:
-        return logs[0]
-    first = logs[0]
-    for log in logs[1:]:
-        if log.intervals != first.intervals:
-            raise ValueError(
-                f"shard logs of query {first.name!r} have mismatching "
-                "interval boundaries; shards must see the same bin timeline")
-    merged = QueryResultLog(first.name)
-    for index, interval_start in enumerate(first.intervals):
-        merged.append(interval_start, query_cls.merge_interval_results(
-            [log.results[index] for log in logs]))
-    return merged
+    """Deprecated: use :meth:`BinRecord.merge`."""
+    warnings.warn(
+        "merge_bin_records is deprecated; use BinRecord.merge(records)",
+        ReproDeprecationWarning, stacklevel=2)
+    return BinRecord.merge(records)
 
 
 def merge_execution_results(results: Sequence[ExecutionResult],
                             query_classes: Dict[str, type],
                             budget: CycleBudget,
                             name: str) -> ExecutionResult:
-    """Fold per-shard executions into one stream-global execution."""
-    results = list(results)
-    first = results[0]
-    merged = ExecutionResult(first.mode, first.strategy, name, budget)
-    n_bins = len(first.bins)
-    for result in results[1:]:
-        if len(result.bins) != n_bins:
-            raise ValueError("shard executions cover different bin counts")
-    merged.bins = [
-        merge_bin_records([result.bins[index] for result in results])
-        for index in range(n_bins)
-    ]
-    merged.query_logs = {
-        qname: merge_query_logs([result.query_logs[qname]
-                                 for result in results],
-                                query_classes[qname])
-        for qname in first.query_logs
-    }
-    return merged
+    """Deprecated: use :meth:`ExecutionResult.merge`."""
+    warnings.warn(
+        "merge_execution_results is deprecated; use "
+        "ExecutionResult.merge(results, query_classes=..., budget=..., "
+        "name=...)",
+        ReproDeprecationWarning, stacklevel=2)
+    return ExecutionResult.merge(results, query_classes=query_classes,
+                                 budget=budget, name=name)
 
 
 # ----------------------------------------------------------------------
@@ -370,8 +306,8 @@ class ShardedSystem:
                 _run_shard_job, list(range(self.num_shards)), self.n_workers,
                 respect_cores=self.respect_cores, require_fork=True)
         budget = CycleBudget(self.total_cycles_per_second, float(time_bin))
-        return merge_execution_results(results, self.query_classes, budget,
-                                       trace.name)
+        return ExecutionResult.merge(results, query_classes=self.query_classes,
+                                     budget=budget, name=trace.name)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"ShardedSystem(mode={self.mode!r}, "
@@ -542,7 +478,7 @@ class ShardedSession:
                        for session, part in zip(self.sessions, parts)]
         for index, (part, record) in enumerate(zip(parts, records)):
             self._prev_load[index] = (len(part), record.total_cycles)
-        return merge_bin_records(records)
+        return BinRecord.merge(records)
 
     def ingest_trace(self, source) -> "ShardedSession":
         """Stream every bin of ``source`` through :meth:`ingest`.
@@ -592,8 +528,9 @@ class ShardedSession:
                 [(session.system.profiler,
                   session.system.feature_states.stats())
                  for session in self.sessions])
-        self._closed_result = merge_execution_results(
-            results, self._query_classes, self.budget, self.name)
+        self._closed_result = ExecutionResult.merge(
+            results, query_classes=self._query_classes, budget=self.budget,
+            name=self.name)
         return self._closed_result
 
     # ------------------------------------------------------------------
@@ -694,8 +631,8 @@ class ShardedSession:
             results = self._pool.partial_results()
         else:
             results = [session.partial_result() for session in self.sessions]
-        return merge_execution_results(results, self._query_classes,
-                                       self.budget, self.name)
+        return ExecutionResult.merge(results, query_classes=self._query_classes,
+                                     budget=self.budget, name=self.name)
 
     # ------------------------------------------------------------------
     # Live reconfiguration (forwarded to every shard, next bin boundary)

@@ -44,7 +44,35 @@ from .pipeline import BinPipeline, BinRecord
 from .query import (SAMPLING_CUSTOM, SAMPLING_FLOW, Query, QueryResultLog)
 
 __all__ = ["BinRecord", "ExecutionResult", "MonitoringSystem",
-           "MODES", "MODE_ALIASES"]
+           "merge_query_logs", "MODES", "MODE_ALIASES"]
+
+
+def merge_query_logs(logs: Iterable[QueryResultLog],
+                     query_cls: type) -> QueryResultLog:
+    """Merge per-partition result logs interval by interval.
+
+    All partitions (shards of one host, nodes of a fleet) observe the same
+    bin timeline — empty sub-batches included — so their logs flush at
+    identical interval boundaries; a mismatch means the partitions diverged
+    and is an error, not something to paper over.  Each interval folds
+    through ``query_cls.merge_interval_results``, so the associativity of
+    the merged log is exactly that of the query's ``RESULT_MERGE`` spec.
+    """
+    logs = list(logs)
+    if len(logs) == 1:
+        return logs[0]
+    first = logs[0]
+    for log in logs[1:]:
+        if log.intervals != first.intervals:
+            raise ValueError(
+                f"partition logs of query {first.name!r} have mismatching "
+                "interval boundaries; partitions must see the same bin "
+                "timeline")
+    merged = QueryResultLog(first.name)
+    for index, interval_start in enumerate(first.intervals):
+        merged.append(interval_start, query_cls.merge_interval_results(
+            [log.results[index] for log in logs]))
+    return merged
 
 
 class ExecutionResult:
@@ -58,6 +86,75 @@ class ExecutionResult:
         self.budget = budget
         self.bins: List[BinRecord] = []
         self.query_logs: Dict[str, QueryResultLog] = {}
+
+    # -- second-tier merge --------------------------------------------------
+    @classmethod
+    def merge(cls, results: "Iterable[ExecutionResult]",
+              query_classes: Optional[Dict[str, type]] = None,
+              budget: Optional[CycleBudget] = None,
+              name: Optional[str] = None) -> "ExecutionResult":
+        """Fold per-partition executions into one global execution.
+
+        The public merge API the sharding and fleet tiers fold through.
+        Bin records of the same index fold via :meth:`BinRecord.merge`
+        (sums / maxima / rate means); query logs fold interval by interval
+        via :func:`merge_query_logs` under each query's ``RESULT_MERGE``
+        spec.
+
+        **Ordering and associativity.**  Every registered query's
+        ``RESULT_MERGE`` fold is associative and permutation-invariant:
+        ``merge([a, b, c])``, ``merge([merge([a, b]), c])`` and
+        ``merge([c, a, b])`` agree on every query-log value (floating-point
+        sums commute exactly for the integer-valued counters the queries
+        report; otherwise to rounding).  Nested ``BinRecord`` merges
+        re-average already-averaged sampling rates, so grouped bin-level
+        *rate* means are weighted differently from flat ones — every other
+        bin quantity is an associative sum or max.
+
+        Parameters default for the fleet case: ``query_classes`` resolves
+        each log name through the :data:`repro.queries.QUERY_CLASSES`
+        registry (pass it explicitly for renamed or custom query
+        instances), ``budget`` sums the member capacities over the first
+        result's time bin, and ``name`` is taken from the first result.
+        """
+        results = list(results)
+        if not results:
+            raise ValueError("cannot merge zero execution results")
+        first = results[0]
+        if budget is None:
+            budget = CycleBudget(
+                cycles_per_second=float(sum(r.budget.cycles_per_second
+                                            for r in results)),
+                time_bin=first.budget.time_bin)
+        if name is None:
+            name = first.trace_name
+        if query_classes is None:
+            from ..queries import QUERY_CLASSES
+            query_classes = {}
+            for qname in first.query_logs:
+                if qname not in QUERY_CLASSES:
+                    raise ValueError(
+                        f"query log {qname!r} does not match a registered "
+                        "query kind; pass query_classes= explicitly to "
+                        "merge renamed or custom query instances")
+                query_classes[qname] = QUERY_CLASSES[qname]
+        merged = cls(first.mode, first.strategy, name, budget)
+        n_bins = len(first.bins)
+        for result in results[1:]:
+            if len(result.bins) != n_bins:
+                raise ValueError(
+                    "partition executions cover different bin counts")
+        merged.bins = [
+            BinRecord.merge([result.bins[index] for result in results])
+            for index in range(n_bins)
+        ]
+        merged.query_logs = {
+            qname: merge_query_logs([result.query_logs[qname]
+                                     for result in results],
+                                    query_classes[qname])
+            for qname in first.query_logs
+        }
+        return merged
 
     # -- aggregate views ----------------------------------------------------
     def series(self, attribute: str) -> np.ndarray:

@@ -48,6 +48,8 @@ __all__ = [
     "TopKQuery",
     "TraceQuery",
     "QUERY_CLASSES",
+    "MERGE_EXACTNESS",
+    "MERGE_EXACT_KINDS",
     "QuerySpec",
     "standard_queries",
     "make_query",
@@ -70,6 +72,36 @@ QUERY_CLASSES: Dict[str, type] = {
     "top-k": TopKQuery,
     "trace": TraceQuery,
 }
+
+#: Merge exactness per query kind: how the ``RESULT_MERGE`` fold of a
+#: flow-affine partition relates to a single instance over the whole
+#: stream.  ``"exact"`` — bit-identical result values (per-flow state never
+#: spans partitions, counters sum).  ``"prefix"`` — the merged ranking is an
+#: exact prefix of the whole-stream one with exact volumes (top-k, once the
+#: widest member ranking fixes the recovered ``k``).  ``"union"`` — the
+#: merged report is the union of per-partition reports (autofocus clusters;
+#: per-partition thresholds differ from the global one).  ``"bounded"`` — a
+#: deterministic ``[true, N * true]`` bracket (high-watermark peaks sum
+#: across partitions; a source's distinct-destination counts can double
+#: count).  The fleet tier's federated≡single-node identity check covers
+#: exactly the ``"exact"`` kinds (:data:`MERGE_EXACT_KINDS`).
+MERGE_EXACTNESS: Dict[str, str] = {
+    "application": "exact",
+    "autofocus": "union",
+    "counter": "exact",
+    "flows": "exact",
+    "high-watermark": "bounded",
+    "p2p-detector": "exact",
+    "pattern-search": "exact",
+    "super-sources": "bounded",
+    "top-k": "prefix",
+    "trace": "exact",
+}
+
+#: Kinds whose federated result is bit-identical to a single-node run.
+MERGE_EXACT_KINDS: Tuple[str, ...] = tuple(sorted(
+    kind for kind, exactness in MERGE_EXACTNESS.items()
+    if exactness == "exact"))
 
 #: The seven queries of the Chapter 3/4 validation (Table 3.2).
 VALIDATION_SEVEN = (

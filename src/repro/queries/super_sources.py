@@ -85,13 +85,17 @@ class SuperSourcesQuery(Query):
         per-shard distinct-destination counts — an upper bound when the same
         destination is reached over several ports on different shards, which
         is rare for scan-style super-spreaders.
+
+        The merged map keeps every summed source (ordered by fan-out desc,
+        address asc) instead of truncating to a member's ``top_n``:
+        truncation at merge time would drop fan-out mass an outer merge of
+        a nested grouping still needs, and keeping the full summed table is
+        what makes this fold associative and permutation-invariant.
         """
         fanout: Dict[int, float] = {}
         for result in results:
             for src, count in result.get("fanout", {}).items():
                 fanout[src] = fanout.get(src, 0.0) + count
-        top_n = max((len(result["fanout"]) for result in results
-                     if "fanout" in result), default=0)
         top = sorted(fanout.items(), key=lambda item: (-item[1], item[0]))
-        merged["fanout"] = dict(top[:top_n])
+        merged["fanout"] = dict(top)
         return merged

@@ -82,15 +82,22 @@ class TopKQuery(Query):
 
     @classmethod
     def derive_merged(cls, merged: Dict, results: Sequence[Dict]) -> Dict:
-        """Re-rank the summed per-shard volumes and truncate to the top k.
+        """Re-rank the summed per-partition volumes; truncate the ranking only.
 
-        Each shard reports its local top-k; the merged ranking re-sorts the
-        union of those entries by total volume (``k`` recovered from the
-        widest shard ranking).  A destination spread across shards can in
-        principle be under-counted when it falls outside a shard's local
-        top-k — the classical mergeable-summary caveat — but with
+        Each partition reports its local top-k; the merged ranking re-sorts
+        the union of those entries by total volume (``k`` recovered from the
+        widest member ranking).  The merged ``bytes`` map keeps the *full*
+        summed volume table, ordered by (volume desc, address asc), rather
+        than truncating it to the ranking: truncating at merge time would
+        make nested merges lose volume mass an outer merge still needs, so
+        the untruncated table is what makes this fold associative — any
+        grouping of partitions sums the same volumes, and ``k`` recovery by
+        ``max`` is associative because an inner merged ranking is always as
+        long as its widest member.  A destination spread across partitions
+        can in principle be under-counted when it falls outside a member's
+        local top-k — the classical mergeable-summary caveat — but with
         flow-affine partitioning a destination's traffic concentrates on
-        few shards, so the merged ranking matches the unsharded one in
+        few partitions, so the merged ranking matches the unsharded one in
         practice (the sharding tests pin the tolerance).
         """
         volumes: Dict[int, float] = {}
@@ -99,7 +106,7 @@ class TopKQuery(Query):
                 volumes[dst] = volumes.get(dst, 0.0) + nbytes
         k = max((len(result["ranking"]) for result in results
                  if "ranking" in result), default=0)
-        top = sorted(volumes.items(), key=lambda item: (-item[1], item[0]))[:k]
-        merged["ranking"] = [dst for dst, _ in top]
-        merged["bytes"] = {dst: volume for dst, volume in top}
+        ordered = sorted(volumes.items(), key=lambda item: (-item[1], item[0]))
+        merged["ranking"] = [dst for dst, _ in ordered[:k]]
+        merged["bytes"] = dict(ordered)
         return merged

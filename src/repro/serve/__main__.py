@@ -34,7 +34,7 @@ from typing import List, Optional
 
 
 def build_parser() -> argparse.ArgumentParser:
-    from ..replay import add_system_args
+    from ..cli import add_system_args
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.serve",
@@ -130,7 +130,7 @@ def _build_feed(args, time_bin: float):
 def main(argv: Optional[List[str]] = None) -> int:
     from ..experiments import runner
     from ..monitor.config import SystemConfig
-    from ..replay import apply_system_args
+    from ..cli import apply_system_args
     from .checkpoint import restore_session
     from .daemon import MonitorDaemon
 

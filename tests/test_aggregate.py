@@ -203,7 +203,10 @@ class TestMergeEngine:
             [{"ranking": [1], "bytes": {1: 5.0}, "table_size": 1.0},
              {"bytes": {2: 9.0}, "table_size": 1.0}])
         assert merged["ranking"] == [2]
-        assert merged["bytes"] == {2: 9.0}
+        # The merged volume table keeps every summed entry (descending) so
+        # nested merges stay associative; only the ranking truncates to k.
+        assert merged["bytes"] == {2: 9.0, 1: 5.0}
+        assert list(merged["bytes"]) == [2, 1]
         assert merged["table_size"] == 2.0
 
     def test_unmergeable_type_still_raises_with_guidance(self):

@@ -45,8 +45,14 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.monitor.sharding import FLOW_FIELDS
-from repro.queries import QUERY_CLASSES, make_query
+from repro.experiments.runner import system_config
+from repro.monitor.config import ReproDeprecationWarning
+from repro.monitor.pipeline import BinRecord
+from repro.monitor.sharding import (FLOW_FIELDS, merge_bin_records,
+                                    merge_execution_results)
+from repro.monitor.system import ExecutionResult
+from repro.queries import (MERGE_EXACT_KINDS, MERGE_EXACTNESS,
+                           QUERY_CLASSES, make_query, parse_query_specs)
 from tests.conftest import make_batch
 
 #: Queries whose merged result must equal the whole-stream result bit-near.
@@ -81,16 +87,23 @@ def _run(kind, batches):
     return result
 
 
-def _merged_and_whole(kind, seed, n_batches, packets, n_hosts, num_shards):
+def _shard_results(kind, seed, n_batches, packets, n_hosts, num_shards):
     payloads = kind in NEEDS_PAYLOAD
     batches = _stream(seed, n_batches, packets, n_hosts, payloads)
-    whole = _run(kind, batches)
     sub_streams = [[] for _ in range(num_shards)]
     for batch in batches:
         for index, part in enumerate(batch.partition(num_shards,
                                                      FLOW_FIELDS)):
             sub_streams[index].append(part)
-    shard_results = [_run(kind, sub) for sub in sub_streams]
+    return [_run(kind, sub) for sub in sub_streams]
+
+
+def _merged_and_whole(kind, seed, n_batches, packets, n_hosts, num_shards):
+    payloads = kind in NEEDS_PAYLOAD
+    batches = _stream(seed, n_batches, packets, n_hosts, payloads)
+    whole = _run(kind, batches)
+    shard_results = _shard_results(kind, seed, n_batches, packets, n_hosts,
+                                   num_shards)
     merged = QUERY_CLASSES[kind].merge_interval_results(shard_results)
     return merged, whole, shard_results
 
@@ -204,6 +217,100 @@ def test_merge_of_identical_copies_is_stable(kind, seed):
             assert merged[key] == pytest.approx(value + empty[key], rel=1e-9)
 
 
+@pytest.mark.parametrize("kind", sorted(QUERY_CLASSES))
+@settings(deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000),
+       order_seed=st.integers(min_value=0, max_value=10_000))
+def test_merge_is_associative_and_permutation_invariant(kind, seed,
+                                                        order_seed):
+    """Any grouping or ordering of partition results folds identically.
+
+    This is the property the fleet tier's second merge level rides on:
+    ``merge([a, b, c])`` must equal ``merge([merge([a, b]), c])`` and
+    ``merge([a, merge([b, c])])`` (regional pre-aggregation composes) and
+    must not care which node reports first.  The property runs with
+    untruncated report widths (:data:`PROPERTY_KWARGS`), where every
+    registered merge — including the re-ranking ones — is associative.
+    """
+    results = _shard_results(kind, seed, 2, 150, 12, 3)
+    merge = QUERY_CLASSES[kind].merge_interval_results
+    flat = merge(results)
+    left = merge([merge(results[:2]), results[2]])
+    right = merge([results[0], merge(results[1:])])
+    order = np.random.default_rng(order_seed).permutation(3)
+    permuted = merge([results[index] for index in order])
+    _assert_values_close(left, flat, path=f"{kind}:left-grouping")
+    _assert_values_close(right, flat, path=f"{kind}:right-grouping")
+    _assert_values_close(permuted, flat, path=f"{kind}:permutation")
+
+
+def test_exactness_registry_covers_documented_classification():
+    """The MERGE_EXACTNESS registry must not drift from this suite.
+
+    The EXACT/BOUNDED tuples above *are* the documented classification the
+    properties enforce; the registry (which the fleet exactness gate and
+    the README table are driven by) must agree with them kind for kind.
+    """
+    assert set(MERGE_EXACTNESS) == set(QUERY_CLASSES)
+    assert MERGE_EXACT_KINDS == tuple(sorted(EXACT))
+    assert all(MERGE_EXACTNESS[kind] == "exact" for kind in EXACT)
+    assert all(MERGE_EXACTNESS[kind] == "bounded" for kind in BOUNDED)
+    assert MERGE_EXACTNESS["top-k"] == "prefix"
+    assert MERGE_EXACTNESS["autofocus"] == "union"
+
+
+# ----------------------------------------------------------------------
+# Deprecated shims: must warn, must stay bit-identical to the new API.
+# ----------------------------------------------------------------------
+class TestDeprecatedMergeShims:
+    @staticmethod
+    def _bin_record(packets, cycles, delay, rate):
+        return BinRecord(
+            index=1, start_ts=0.5, incoming_packets=packets,
+            incoming_bytes=packets * 100, dropped_packets=2,
+            unsampled_packets=1.0, predicted_cycles=cycles,
+            query_cycles=cycles, prediction_overhead=1.0,
+            shedding_overhead=2.0, system_overhead=3.0,
+            available_cycles=100.0, delay=delay, buffer_occupation=0.4,
+            rates={"q": rate}, query_cycles_by_query={"q": cycles})
+
+    @staticmethod
+    def _execution(seed):
+        config = system_config(queries=parse_query_specs("counter"),
+                               mode="reference", cycles_per_second=1e8,
+                               seed=seed)
+        session = config.build().open_session(time_bin=0.1,
+                                              name=f"part{seed}")
+        for index in range(3):
+            session.ingest(make_batch(n=40, seed=seed * 10 + index,
+                                      start_ts=0.1 * index))
+        return session.close()
+
+    def test_merge_bin_records_warns_and_matches_classmethod(self):
+        records = [self._bin_record(10, 50.0, 5.0, 1.0),
+                   self._bin_record(20, 70.0, 9.0, 0.5)]
+        with pytest.warns(ReproDeprecationWarning, match="BinRecord.merge"):
+            shimmed = merge_bin_records(records)
+        assert shimmed == BinRecord.merge(records)
+
+    def test_merge_execution_results_warns_and_matches_classmethod(self):
+        results = [self._execution(0), self._execution(1)]
+        classes = {"counter": QUERY_CLASSES["counter"]}
+        with pytest.warns(ReproDeprecationWarning,
+                          match="ExecutionResult.merge"):
+            shimmed = merge_execution_results(results, classes,
+                                              results[0].budget, "shim")
+        direct = ExecutionResult.merge(results, query_classes=classes,
+                                       budget=results[0].budget,
+                                       name="shim")
+        assert shimmed.bins == direct.bins
+        assert shimmed.trace_name == direct.trace_name == "shim"
+        log, reference = (shimmed.query_logs["counter"],
+                          direct.query_logs["counter"])
+        assert log.intervals == reference.intervals
+        assert log.results == reference.results
+
+
 # ----------------------------------------------------------------------
 # Deterministic regressions re-pinning the documented merge semantics the
 # replaced hand-written examples covered.
@@ -225,9 +332,12 @@ class TestMergeSemanticsRegressions:
         ]
         merged = QUERY_CLASSES["top-k"].merge_interval_results(results)
         # k is recovered from the widest shard ranking (2 here): the summed
-        # volumes re-rank 2 (70) above 3 (60), and 1 (50) falls off.
+        # volumes re-rank 2 (70) above 3 (60), and 1 (50) falls off the
+        # ranking — but the merged volume table keeps every summed entry
+        # (volume-descending) so nested merges stay associative.
         assert merged["ranking"] == [2, 3]
-        assert merged["bytes"] == {2: 70.0, 3: 60.0}
+        assert merged["bytes"] == {2: 70.0, 3: 60.0, 1: 50.0}
+        assert list(merged["bytes"]) == [2, 3, 1]
         assert merged["table_size"] == 7.0
 
     def test_p2p_detector_unions_verdicts(self):
@@ -245,7 +355,10 @@ class TestMergeSemanticsRegressions:
             {"fanout": {2: 5.0, 3: 1.0}, "sources": 2.0},
         ]
         merged = QUERY_CLASSES["super-sources"].merge_interval_results(results)
-        assert merged["fanout"] == {2: 8.0, 1: 4.0}
+        # The merged map keeps every summed source (fan-out descending) so
+        # nested merges stay associative; consumers re-truncate if needed.
+        assert merged["fanout"] == {2: 8.0, 1: 4.0, 3: 1.0}
+        assert list(merged["fanout"]) == [2, 1, 3]
         assert merged["sources"] == 4.0
 
     def test_autofocus_unions_and_sorts_clusters(self):

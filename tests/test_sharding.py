@@ -22,8 +22,7 @@ import pytest
 
 from repro.experiments import runner, scenarios
 from repro.monitor.pipeline import BinRecord
-from repro.monitor.sharding import (ShardedSystem, merge_bin_records,
-                                    shard_seed)
+from repro.monitor.sharding import ShardedSystem, shard_seed
 from repro.queries import make_query
 from tests.conftest import make_batch
 
@@ -245,8 +244,8 @@ class TestResultMerging:
                 buffer_occupation=occupation, rates={"q": rate},
                 query_cycles_by_query={"q": cycles})
 
-        merged = merge_bin_records([record(10, 50.0, 5.0, 0.2, 1.0),
-                                    record(20, 70.0, 9.0, 0.6, 0.5)])
+        merged = BinRecord.merge([record(10, 50.0, 5.0, 0.2, 1.0),
+                                  record(20, 70.0, 9.0, 0.6, 0.5)])
         assert merged.incoming_packets == 30
         assert merged.query_cycles == 120.0
         assert merged.delay == 9.0
