@@ -1,0 +1,226 @@
+"""Multi-tenant allocation engine: columnar kernels vs the object-per-bin path.
+
+The vectorised allocation engine (``repro.core.fairness`` array kernels plus
+the two-tier tenant allocator in ``repro.core.tenancy``) replaces the
+historical per-bin flow of "construct one QueryDemand object per query, then
+run a python loop over them".  This benchmark sweeps query count x tenant
+count and times the allocation stage alone, exactly as it runs inside
+``LoadSheddingController.plan_arrays``:
+
+* legacy path: build ``QueryDemand`` objects for the bin, then allocate with
+  the scalar reference implementations (``SCALAR_REFERENCE`` strategies for
+  the flat case, ``two_tier_scalar`` for tenants);
+* columnar path: refresh the preallocated prediction column and call the
+  flat array kernel / ``two_tier_allocate`` with precomputed tie-break ranks.
+
+Both paths must agree (bit-identical for the flat kernels, 1e-9 for the
+two-tier water-fill) before any timing is recorded.  The gate required by the
+issue: >=5x at 500 queries / 100 tenants.  Per-bin latency percentiles of the
+columnar path are recorded into ``BENCH_report.json`` for every sweep point.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from conftest import BENCH_SCALE, record_result
+
+from repro.core.fairness import (ARRAY_STRATEGIES, QueryDemand,
+                                 SCALAR_REFERENCE, name_ranks)
+from repro.core.tenancy import (TenantAssignment, TenantGroup, TenantRegistry,
+                                two_tier_allocate, two_tier_scalar)
+
+#: (query count, tenant count) sweep of the allocation stage.  Tenant count 0
+#: exercises the flat (untenanted) kernels against the scalar references.
+SWEEP = (
+    (10, 0),
+    (10, 2),
+    (100, 0),
+    (100, 20),
+    (500, 0),
+    (500, 2),
+    (500, 20),
+    (500, 100),
+)
+
+#: The issue's bar: the columnar engine must beat the object-per-bin path by
+#: at least this factor at the top of the sweep (500 queries, 100 tenants).
+REQUIRED_SPEEDUP = 5.0
+GATE_POINT = (500, 100)
+
+#: Bins timed per sweep point (prediction values change every bin, as in a
+#: real run where the EWMA/SLR predictors refresh the demand column).
+BINS = max(8, int(round(40 * BENCH_SCALE)))
+
+
+def _make_workload(n_queries, n_tenants, seed):
+    """Columns, registry and per-bin prediction series for one sweep point."""
+    rng = np.random.default_rng(seed)
+    names = [f"q{i:04d}" for i in range(n_queries)]
+    mins = np.where(rng.random(n_queries) < 0.3,
+                    rng.uniform(0.01, 0.2, n_queries), 0.0)
+    base = rng.uniform(1e3, 1e6, n_queries)
+    bins = [base * rng.uniform(0.5, 1.5, n_queries) for _ in range(BINS)]
+    # Binding capacity: ~30% of the mean bin demand, so the water-fill and
+    # the disable rule both do real work every bin.
+    capacity = 0.3 * float(np.mean([p.sum() for p in bins]))
+    if n_tenants:
+        groups = tuple(
+            TenantGroup(
+                name=f"tenant-{index:03d}",
+                queries=tuple(("counter", {"name": member})
+                              for member in names[index::n_tenants]),
+                weight=float(1.0 + (index % 3)),
+                budget_share=(0.9 / n_tenants if index % 4 == 0 else None),
+                min_rate=(0.01 if index % 5 == 0 else 0.0),
+            )
+            for index in range(n_tenants)
+        )
+        registry = TenantRegistry(groups)
+        ids = np.array([registry.slot(registry.declared_tenant_of[name])
+                        for name in names], dtype=np.intp)
+        mins = np.maximum(
+            mins, np.array([registry.min_rate_for(name) for name in names]))
+    else:
+        registry = None
+        ids = None
+    return names, mins, bins, capacity, registry, ids
+
+
+def _legacy_bin(key, names, predicted, mins, capacity, registry, ids):
+    """One bin of the historical path: objects first, python loops after."""
+    demands = [QueryDemand(names[i], float(predicted[i]), float(mins[i]))
+               for i in range(len(names))]
+    if registry is None:
+        allocation = SCALAR_REFERENCE[key](demands, capacity)
+    else:
+        allocation = two_tier_scalar(names, predicted, mins, ids, registry,
+                                     capacity, packet_fair=(key == "mmfs_pkt"))
+    return allocation
+
+
+def _columnar_bin(key, names, pred_col, predicted, mins, capacity,
+                  assignment, rank):
+    """One bin of the engine path, as driven by ``plan_arrays``."""
+    pred_col[:] = predicted  # the predictor refresh of the demand column
+    if assignment is None:
+        return ARRAY_STRATEGIES[key](names, pred_col, mins, capacity,
+                                     rank=rank)
+    return assignment.allocate(key, names, pred_col, mins, capacity,
+                               rank=rank)
+
+
+def _check_agreement(key, legacy, columnar, tenanted):
+    legacy_rates = np.array([legacy.rate(n) for n in legacy.rates])
+    columnar_rates = np.array([columnar.rate(n) for n in legacy.rates])
+    if tenanted:
+        np.testing.assert_allclose(columnar_rates, legacy_rates,
+                                   rtol=0.0, atol=1e-9)
+        assert set(legacy.disabled) == set(columnar.disabled)
+    else:
+        # Flat kernels reproduce the scalar references bit for bit.
+        assert legacy.rates == columnar.rates
+        assert legacy.disabled == columnar.disabled
+        assert legacy.total_cycles == columnar.total_cycles
+
+
+def _sweep_point(key, n_queries, n_tenants, seed):
+    names, mins, bins, capacity, registry, ids = _make_workload(
+        n_queries, n_tenants, seed)
+    rank = name_ranks(names)
+    pred_col = np.empty(n_queries, dtype=np.float64)
+    assignment = (TenantAssignment(registry, ids)
+                  if registry is not None else None)
+
+    _check_agreement(
+        key,
+        _legacy_bin(key, names, bins[0], mins, capacity, registry, ids),
+        _columnar_bin(key, names, pred_col, bins[0], mins, capacity,
+                      assignment, rank),
+        tenanted=registry is not None)
+
+    legacy_seconds = 0.0
+    for predicted in bins:
+        start = time.perf_counter()
+        _legacy_bin(key, names, predicted, mins, capacity, registry, ids)
+        legacy_seconds += time.perf_counter() - start
+
+    bin_seconds = []
+    for predicted in bins:
+        start = time.perf_counter()
+        _columnar_bin(key, names, pred_col, predicted, mins, capacity,
+                      assignment, rank)
+        bin_seconds.append(time.perf_counter() - start)
+    columnar_seconds = float(sum(bin_seconds))
+    speedup = legacy_seconds / columnar_seconds if columnar_seconds else 0.0
+    return legacy_seconds, columnar_seconds, bin_seconds, speedup
+
+
+@pytest.mark.benchmark(group="tenants")
+def test_tenant_allocation_engine(benchmark):
+    """Columnar allocation >=5x over object-per-bin at 500 queries/100 tenants."""
+    key = "mmfs_cpu"
+    rows = []
+
+    def _run_sweep():
+        for n_queries, n_tenants in SWEEP:
+            legacy_s, columnar_s, bin_seconds, speedup = _sweep_point(
+                key, n_queries, n_tenants, seed=17 + n_queries + n_tenants)
+            rows.append((n_queries, n_tenants, legacy_s, columnar_s,
+                         bin_seconds, speedup))
+        return rows
+
+    benchmark.pedantic(_run_sweep, rounds=1, iterations=1, warmup_rounds=0)
+
+    print()
+    print(f"Allocation stage ({key}), {BINS} bins per point")
+    print(f"{'queries':>8} {'tenants':>8} {'legacy s':>10} "
+          f"{'columnar s':>11} {'speedup':>8}")
+    gate_speedup = None
+    for n_queries, n_tenants, legacy_s, columnar_s, bin_seconds, speedup \
+            in rows:
+        print(f"{n_queries:>8} {n_tenants:>8} {legacy_s:>10.4f} "
+              f"{columnar_s:>11.4f} {speedup:>7.1f}x")
+        gated = (n_queries, n_tenants) == GATE_POINT
+        if gated:
+            gate_speedup = speedup
+        record_result(
+            f"tenants_alloc_{n_queries}q_{n_tenants}t",
+            columnar_s,
+            speedup=speedup,
+            bin_seconds=bin_seconds,
+            legacy_seconds=legacy_s,
+            queries=n_queries,
+            tenants=n_tenants,
+            bins=BINS,
+            **({"required_speedup": REQUIRED_SPEEDUP} if gated else {}),
+        )
+
+    assert gate_speedup is not None
+    assert gate_speedup >= REQUIRED_SPEEDUP, (
+        f"columnar allocation speedup {gate_speedup:.1f}x at "
+        f"{GATE_POINT[0]} queries/{GATE_POINT[1]} tenants is below the "
+        f"required {REQUIRED_SPEEDUP:.0f}x")
+
+
+@pytest.mark.benchmark(group="tenants")
+@pytest.mark.parametrize("key", sorted(ARRAY_STRATEGIES))
+def test_flat_kernels_bit_identical_at_scale(benchmark, key):
+    """Every flat kernel stays bit-identical to its scalar reference at 500q."""
+    names, mins, bins, capacity, _, _ = _make_workload(500, 0, seed=5)
+    rank = name_ranks(names)
+    pred_col = np.empty(500, dtype=np.float64)
+
+    def _check_all():
+        for predicted in bins:
+            legacy = _legacy_bin(key, names, predicted, mins, capacity,
+                                 None, None)
+            columnar = _columnar_bin(key, names, pred_col, predicted, mins,
+                                     capacity, None, rank)
+            _check_agreement(key, legacy, columnar, tenanted=False)
+        return len(bins)
+
+    checked = benchmark.pedantic(_check_all, rounds=1, iterations=1,
+                                 warmup_rounds=0)
+    assert checked == BINS

@@ -32,6 +32,7 @@ paper-versus-measured comparison of every reproduced experiment.
 from .core import (EWMAPredictor, FeatureExtractor, LoadSheddingController,
                    MLRPredictor, SLRPredictor)
 from .core.cycles import CycleBudget
+from .core.tenancy import TenantGroup, TenantRegistry
 from .fleet import (FleetAggregator, FleetRunner, FleetTopology, NodeSpec,
                     load_topology)
 from .monitor import (Batch, ExecutionResult, MonitoringSession,
@@ -66,6 +67,8 @@ __all__ = [
     "ShardedSystem",
     "StreamingTrace",
     "SystemConfig",
+    "TenantGroup",
+    "TenantRegistry",
     "TraceStore",
     "TraceWriter",
     "__version__",

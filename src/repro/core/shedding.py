@@ -21,11 +21,13 @@ inputs are feature vectors, predicted cycles and measured cycles.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from .fairness import Allocation, QueryDemand, Strategy, get_strategy
+from .fairness import (Allocation, ARRAY_STRATEGIES, QueryDemand, Strategy,
+                       get_strategy, sequential_sum, strategy_key,
+                       _validate_columns)
 
 #: Weight of the EWMAs tracking prediction error and shedding overhead
 #: (Section 4.3 sets alpha = 0.9 to react quickly).
@@ -114,6 +116,13 @@ class ShedPlan:
         return self.rates.get(name, 1.0)
 
     @property
+    def tenant_shares(self) -> Optional[Dict[str, float]]:
+        """Per-tenant cycle shares when a two-tier allocation ran."""
+        if self.allocation is None:
+            return None
+        return self.allocation.tenant_shares
+
+    @property
     def global_rate(self) -> float:
         """Smallest applied rate (1.0 when no shedding happened)."""
         return min(self.rates.values()) if self.rates else 1.0
@@ -134,6 +143,10 @@ class LoadSheddingController:
     def __init__(self, strategy: Strategy = "eq_srates",
                  safety_margin: float = 0.0) -> None:
         self.strategy = get_strategy(strategy)
+        #: Registry name of the strategy (None for custom callables); the
+        #: columnar plan path dispatches named strategies straight to their
+        #: array kernels and only rebuilds QueryDemand objects for customs.
+        self.strategy_key = strategy_key(strategy)
         self.safety_margin = float(safety_margin)
         self.error_ewma = 0.0
         self.shedding_overhead_ewma = 0.0
@@ -161,30 +174,68 @@ class LoadSheddingController:
     def plan(self, demands: List[QueryDemand], bin_budget: float,
              overhead_cycles: float, delay: float) -> ShedPlan:
         """Decide the sampling rate of every query for the current bin."""
+        names = [d.name for d in demands]
+        predicted = np.array([d.predicted_cycles for d in demands],
+                             dtype=np.float64)
+        min_rates = np.array([d.min_sampling_rate for d in demands],
+                             dtype=np.float64)
+        return self.plan_arrays(names, predicted, min_rates, bin_budget,
+                                overhead_cycles, delay)
+
+    def plan_arrays(self, names: Sequence[str], predicted: np.ndarray,
+                    min_rates: np.ndarray, bin_budget: float,
+                    overhead_cycles: float, delay: float,
+                    tenants=None, rank: Optional[np.ndarray] = None
+                    ) -> ShedPlan:
+        """Columnar :meth:`plan`: demand columns in, no per-bin objects.
+
+        ``names`` / ``predicted`` / ``min_rates`` are aligned per-query
+        columns (typically gathered from the system's
+        :class:`~repro.core.fairness.QuerySlotTable`).  ``tenants`` is an
+        optional :class:`~repro.core.tenancy.TenantAssignment` routing named
+        strategies through the two-tier tenant allocator; ``rank`` is the
+        precomputed name-rank tie-break column.  Named strategies dispatch
+        straight to their array kernels; custom callables still receive the
+        classic corrected :class:`QueryDemand` list.
+        """
+        predicted = np.asarray(predicted, dtype=np.float64)
+        min_rates = np.asarray(min_rates, dtype=np.float64)
+        _validate_columns(predicted, min_rates)
         avail = self.available_cycles(bin_budget, overhead_cycles, delay)
-        predicted = float(sum(d.predicted_cycles for d in demands))
+        predicted_total = sequential_sum(predicted)
         correction = (1.0 + self.error_ewma) * (1.0 + self.safety_margin)
-        corrected = predicted * correction
+        corrected = predicted_total * correction
         overload = avail < corrected
-        plan = ShedPlan(available_cycles=avail, predicted_cycles=predicted,
+        plan = ShedPlan(available_cycles=avail,
+                        predicted_cycles=predicted_total,
                         corrected_prediction=corrected, overload=overload)
-        if not overload or not demands:
-            plan.rates = {d.name: 1.0 for d in demands}
+        if not overload or not len(names):
+            plan.rates = {name: 1.0 for name in names}
             self.last_rates.update(plan.rates)
             return plan
         # Cycles truly usable by queries once the shedding machinery has
         # taken its own share (Algorithm 1, line 9).
         usable = max(0.0, avail - self.shedding_overhead_ewma)
         # Scale each query's corrected demand and let the strategy split it.
-        corrected_demands = [
-            QueryDemand(name=d.name,
-                        predicted_cycles=d.predicted_cycles * correction,
-                        min_sampling_rate=d.min_sampling_rate)
-            for d in demands
-        ]
-        allocation = self.strategy(corrected_demands, usable)
+        corrected_pred = predicted * correction
+        if tenants is not None and self.strategy_key is not None:
+            allocation = tenants.allocate(self.strategy_key, names,
+                                          corrected_pred, min_rates, usable,
+                                          rank=rank)
+        elif self.strategy_key is not None:
+            allocation = ARRAY_STRATEGIES[self.strategy_key](
+                names, corrected_pred, min_rates, usable, rank=rank)
+        else:
+            corrected_demands = [
+                QueryDemand(name=name,
+                            predicted_cycles=float(cycles),
+                            min_sampling_rate=float(floor))
+                for name, cycles, floor
+                in zip(names, corrected_pred, min_rates)
+            ]
+            allocation = self.strategy(corrected_demands, usable)
         plan.allocation = allocation
-        plan.rates = {d.name: allocation.rate(d.name) for d in demands}
+        plan.rates = {name: allocation.rate(name) for name in names}
         self.last_rates.update(plan.rates)
         return plan
 

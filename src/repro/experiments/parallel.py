@@ -70,40 +70,62 @@ class ScenarioCell:
     time_bin: float = runner.TIME_BIN
     num_shards: int = 1
     shard_rebalance: bool = True
+    #: Number of tenant groups the cell's queries are split across
+    #: (round-robin); ``0`` runs the classic untenanted system.
+    tenant_count: int = 0
     seed: int = 0
 
     @property
     def cell_id(self) -> str:
         """Human-readable coordinate string (also the seeding key).
 
-        Unsharded cells keep the historical coordinate format so the frozen
-        golden seed expectations stay valid; sharded cells append their
-        shard count (and a rebalance marker) as an extra coordinate.
+        Unsharded, untenanted cells keep the historical coordinate format
+        so the frozen golden seed expectations stay valid; sharded cells
+        append their shard count (and a rebalance marker), tenanted cells
+        their tenant count, as extra coordinates.
         """
         base = (f"{self.trace}/K={self.overload:g}/{self.mode}/"
                 f"{self.strategy}/{self.predictor}")
-        if self.num_shards == 1:
-            return base
-        suffix = "" if self.shard_rebalance else "-static"
-        return f"{base}/shards={self.num_shards}{suffix}"
+        if self.num_shards > 1:
+            suffix = "" if self.shard_rebalance else "-static"
+            base = f"{base}/shards={self.num_shards}{suffix}"
+        if self.tenant_count > 0:
+            base = f"{base}/tenants={self.tenant_count}"
+        return base
 
     def group_key(self) -> Tuple:
         """Cells with equal group keys share a trace and a calibration."""
         return (self.trace, self.queries, self.scale, self.time_bin)
 
+    def tenant_groups(self) -> Tuple:
+        """The cell's queries dealt round-robin into ``tenant_count``
+        :class:`~repro.core.tenancy.TenantGroup` objects."""
+        from ..core.tenancy import TenantGroup
+        count = min(int(self.tenant_count), len(self.queries))
+        return tuple(
+            TenantGroup(name=f"tenant-{index:03d}",
+                        queries=tuple(self.queries[index::count]))
+            for index in range(count))
+
     def to_config(self, cycles_per_second: Optional[float] = None):
         """The :class:`repro.SystemConfig` this cell's system is built from.
 
         The cell's query set rides along as the config's declarative
-        ``queries`` field, so a cell config is self-contained: it can be
-        serialised, shipped and rebuilt without the cell object.
+        ``queries`` field (or, for tenanted cells, partitioned into the
+        declarative ``tenants`` field, from which the config derives its
+        queries), so a cell config is self-contained: it can be serialised,
+        shipped and rebuilt without the cell object.
         """
-        return runner.system_config(
+        kwargs = dict(
             mode=self.mode, strategy=self.strategy, predictor=self.predictor,
             seed=self.seed, cycles_per_second=cycles_per_second,
             num_shards=self.num_shards,
-            shard_rebalance=self.shard_rebalance,
-            queries=self.queries)
+            shard_rebalance=self.shard_rebalance)
+        if self.tenant_count > 0:
+            kwargs["tenants"] = self.tenant_groups()
+        else:
+            kwargs["queries"] = self.queries
+        return runner.system_config(**kwargs)
 
 
 @dataclass
@@ -135,6 +157,11 @@ class ScenarioMatrix:
         executions of the same scenario can be compared cell for cell.
     shard_rebalance:
         Whether sharded cells rebalance capacity between shards per bin.
+    tenant_counts:
+        Tenant-group counts — a full matrix axis: each entry ``N > 0``
+        splits the query set round-robin across ``N`` declared tenants
+        (two-tier allocation, per-tenant accounting); ``0`` is the classic
+        untenanted system.
     base_seed:
         Root of the deterministic per-cell seed derivation.
     """
@@ -149,6 +176,7 @@ class ScenarioMatrix:
     time_bin: float = runner.TIME_BIN
     num_shards: Sequence[int] = (1,)
     shard_rebalance: bool = True
+    tenant_counts: Sequence[int] = (0,)
     base_seed: int = 0
 
     def __post_init__(self) -> None:
@@ -192,13 +220,22 @@ class ScenarioMatrix:
         for shards in self.num_shards:
             if int(shards) < 1:
                 raise ValueError("num_shards entries must be >= 1")
+        for tenants in self.tenant_counts:
+            if int(tenants) < 0:
+                raise ValueError("tenant_counts entries must be >= 0")
+            if int(tenants) > len(self.queries):
+                raise ValueError(
+                    f"tenant_counts entry {int(tenants)} exceeds the "
+                    f"{len(self.queries)} queries available to spread "
+                    "across tenants")
 
     def cells(self) -> List[ScenarioCell]:
         """Expand the grid into deterministically-seeded cells."""
         expanded: List[ScenarioCell] = []
-        for trace, overload, mode, strategy, predictor, shards in product(
+        for (trace, overload, mode, strategy, predictor, shards,
+             tenants) in product(
                 self.traces, self.overloads, self.modes, self.strategies,
-                self.predictors, self.num_shards):
+                self.predictors, self.num_shards, self.tenant_counts):
             cell = ScenarioCell(
                 trace=trace,
                 overload=float(overload),
@@ -210,6 +247,7 @@ class ScenarioMatrix:
                 time_bin=float(self.time_bin),
                 num_shards=int(shards),
                 shard_rebalance=bool(self.shard_rebalance),
+                tenant_count=int(tenants),
             )
             expanded.append(replace(
                 cell, seed=derive_seed(self.base_seed, cell.cell_id)))
@@ -218,7 +256,7 @@ class ScenarioMatrix:
     def __len__(self) -> int:
         return (len(self.traces) * len(self.overloads) * len(self.modes) *
                 len(self.strategies) * len(self.predictors) *
-                len(self.num_shards))
+                len(self.num_shards) * len(self.tenant_counts))
 
     def trace_seed(self, trace: str) -> int:
         """Seed used to synthesise a workload trace of this matrix."""
@@ -289,6 +327,7 @@ class CellResult:
             "strategy": self.cell.strategy,
             "predictor": self.cell.predictor,
             "num_shards": self.cell.num_shards,
+            "tenant_count": self.cell.tenant_count,
             "drop_fraction": self.drop_fraction,
             "mean_sampling_rate": self.mean_sampling_rate,
             "mean_accuracy": self.mean_accuracy,

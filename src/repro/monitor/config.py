@@ -138,6 +138,14 @@ class SystemConfig:
     #: when set, :meth:`build` (and ``runner.run_system`` /
     #: ``ShardedSystem`` with no explicit queries) instantiates it.
     queries: Optional[Tuple[Any, ...]] = None
+    #: Declarative tenant groups: a tuple of
+    #: :class:`repro.core.tenancy.TenantGroup` (or dicts), each owning a set
+    #: of query specs plus a fair-share weight, optional budget-share
+    #: ceiling and minimum-rate floor.  When set and ``queries`` is
+    #: ``None``, the query mix is *derived* from the tenants' members, so
+    #: every consumer of ``queries`` (runner, shards, serve) works
+    #: unchanged; when both are set they must describe the same query set.
+    tenants: Optional[Tuple[Any, ...]] = None
 
     # ------------------------------------------------------------------
     def __post_init__(self) -> None:
@@ -196,6 +204,23 @@ class SystemConfig:
             # Deferred import: repro.queries imports the monitor package.
             from ..queries import parse_query_specs
             set_(self, "queries", parse_query_specs(self.queries))
+        if self.tenants is not None:
+            from ..core.tenancy import parse_tenant_groups
+            from ..queries import parse_query_specs
+            set_(self, "tenants", parse_tenant_groups(self.tenants))
+            if not self.tenants:
+                set_(self, "tenants", None)
+            else:
+                members = parse_query_specs(tuple(
+                    spec for group in self.tenants for spec in group.queries))
+                if self.queries is None:
+                    set_(self, "queries", members)
+                elif self.queries != members:
+                    raise ValueError(
+                        "queries and tenants disagree: when both are set, "
+                        "'queries' must list exactly the tenants' member "
+                        "specs in tenant order (or be omitted so it is "
+                        "derived)")
 
     # ------------------------------------------------------------------
     def replace(self, **changes: Any) -> "SystemConfig":
@@ -224,6 +249,8 @@ class SystemConfig:
         data["feature_kwargs"] = dict(self.feature_kwargs)
         if self.queries is not None:
             data["queries"] = [spec.to_dict() for spec in self.queries]
+        if self.tenants is not None:
+            data["tenants"] = [group.to_dict() for group in self.tenants]
         return data
 
     @classmethod

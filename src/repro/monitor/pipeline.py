@@ -75,6 +75,10 @@ class BinRecord:
     buffer_occupation: float
     rates: Dict[str, float] = field(default_factory=dict)
     query_cycles_by_query: Dict[str, float] = field(default_factory=dict)
+    #: Query cycles accounted per *declared* tenant (empty when the system
+    #: runs without tenant groups).  Additive across partitions, like
+    #: ``query_cycles_by_query``.
+    tenant_cycles: Dict[str, float] = field(default_factory=dict)
 
     @property
     def total_cycles(self) -> float:
@@ -111,11 +115,15 @@ class BinRecord:
         first = records[0]
         rates: Dict[str, List[float]] = {}
         cycles_by_query: Dict[str, float] = {}
+        cycles_by_tenant: Dict[str, float] = {}
         for record in records:
             for name, rate in record.rates.items():
                 rates.setdefault(name, []).append(rate)
             for name, cycles in record.query_cycles_by_query.items():
                 cycles_by_query[name] = cycles_by_query.get(name, 0.0) + cycles
+            for name, cycles in record.tenant_cycles.items():
+                cycles_by_tenant[name] = (cycles_by_tenant.get(name, 0.0) +
+                                          cycles)
         return cls(
             index=first.index, start_ts=first.start_ts,
             incoming_packets=int(sum(r.incoming_packets for r in records)),
@@ -137,6 +145,7 @@ class BinRecord:
             rates={name: float(np.mean(values))
                    for name, values in rates.items()},
             query_cycles_by_query=cycles_by_query,
+            tenant_cycles=cycles_by_tenant,
         )
 
 
@@ -158,8 +167,16 @@ class BinContext:
     features_pre: Dict[str, FeatureVector] = field(default_factory=dict)
     #: Per-query cycle predictions (predictive mode only).
     predictions: Dict[str, float] = field(default_factory=dict)
-    #: Demands handed to the allocation strategy.
+    #: Demands handed to the allocation strategy.  The default pipeline no
+    #: longer populates this — predictions go straight into the system's
+    #: :class:`~repro.core.fairness.QuerySlotTable` and ``demand_slots``
+    #: below — but custom pipelines may still fill it, in which case the
+    #: rate decision falls back to the classic object path.
     demands: List[QueryDemand] = field(default_factory=list)
+    #: Slot-table rows (one per active query, in ``active`` order) whose
+    #: ``predicted`` column was refreshed this bin; ``None`` until the
+    #: prediction stage ran.
+    demand_slots: Optional[np.ndarray] = None
     #: Sampling rates decided (and possibly adjusted by custom shedding).
     rates: Dict[str, float] = field(default_factory=dict)
     query_cycles_by_query: Dict[str, float] = field(default_factory=dict)
@@ -233,7 +250,9 @@ class PredictionStage:
     def run(self, system: "MonitoringSystem", ctx: BinContext) -> None:
         if system.mode != "predictive":
             return
-        for runtime in ctx.active:
+        table = system.demand_table
+        slots = np.empty(len(ctx.active), dtype=np.intp)
+        for position, runtime in enumerate(ctx.active):
             name = runtime.query.name
             sub_batch = ctx.filtered[name]
             feats = runtime.extractor.extract(sub_batch, update_state=False)
@@ -244,17 +263,19 @@ class PredictionStage:
             ctx.clock.charge_prediction(
                 runtime.extractor.extraction_cost(sub_batch) +
                 runtime.predictor.overhead_cycles)
-            ctx.demands.append(QueryDemand(
-                name=name, predicted_cycles=prediction,
-                min_sampling_rate=runtime.query.minimum_sampling_rate))
+            # Columnar demand path: the prediction lands in the slot table,
+            # no per-bin QueryDemand objects (the effective minimum rate is
+            # maintained there across bins).
+            table.predicted[runtime.slot] = prediction
+            slots[position] = runtime.slot
+        ctx.demand_slots = slots
 
 
 class RateDecisionStage:
     """Decide per-query sampling rates for the bin."""
 
     def run(self, system: "MonitoringSystem", ctx: BinContext) -> None:
-        ctx.rates = system._decide_rates(ctx.active, ctx.demands, ctx.clock,
-                                         ctx.como, ctx.batch)
+        ctx.rates = system._decide_rates(ctx)
 
 
 class ExecutionStage:
@@ -304,6 +325,15 @@ class AccountingStage:
         system._prev_query_cycles = total_query_cycles
         system._prev_reactive_rate = (np.mean(list(ctx.rates.values()))
                                       if ctx.rates else 1.0)
+        tenant_cycles: Dict[str, float] = {}
+        registry = getattr(system, "tenant_registry", None)
+        if registry is not None and registry.declared:
+            owners = registry.declared_tenant_of
+            for name, cycles in ctx.query_cycles_by_query.items():
+                tenant = owners.get(name)
+                if tenant is not None:
+                    tenant_cycles[tenant] = \
+                        tenant_cycles.get(tenant, 0.0) + cycles
         ctx.record = BinRecord(
             index=ctx.index, start_ts=ctx.batch.start_ts,
             incoming_packets=len(ctx.batch),
@@ -318,6 +348,7 @@ class AccountingStage:
             delay=ctx.clock.delay, buffer_occupation=occupation,
             rates=dict(ctx.rates),
             query_cycles_by_query=ctx.query_cycles_by_query,
+            tenant_cycles=tenant_cycles,
         )
 
 

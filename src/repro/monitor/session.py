@@ -131,12 +131,25 @@ class MonitoringSession:
         latency percentiles); ``feature_sharing`` reports the shared
         feature-state registry — group/member counts and how many
         extraction reads and counter merges were served from shared state
-        instead of being recomputed per query.
+        instead of being recomputed per query.  When the system declares
+        tenant groups, ``tenants`` adds the per-tenant accounting: tenant
+        count and query cycles consumed per tenant so far.
         """
-        return {
+        metrics = {
             "profile": self.system.profiler.summary(),
             "feature_sharing": self.system.feature_states.stats(),
         }
+        registry = self.system.tenant_registry
+        if registry.declared:
+            totals: Dict[str, float] = {}
+            for record in self._bins:
+                for tenant, cycles in record.tenant_cycles.items():
+                    totals[tenant] = totals.get(tenant, 0.0) + cycles
+            metrics["tenants"] = {
+                "count": len(registry.groups),
+                "query_cycles": totals,
+            }
+        return metrics
 
     # ------------------------------------------------------------------
     # Ingestion

@@ -404,6 +404,10 @@ class ShardedSession:
         self._closed_result: Optional[ExecutionResult] = None
         #: Metrics snapshot taken at close time (workers are gone after).
         self._closed_metrics: Optional[Dict] = None
+        #: Per-tenant query cycles accumulated from the merged bin records
+        #: (per-bin ``ingest`` path; the pipelined trace path reports the
+        #: complete totals at close time from the merged result).
+        self._tenant_cycles: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -451,7 +455,18 @@ class ShardedSession:
             shards = [(session.system.profiler,
                        session.system.feature_states.stats())
                       for session in self.sessions]
-        return self._merge_metrics(shards)
+        merged = self._merge_metrics(shards)
+        tenants = self._tenant_metrics(self._tenant_cycles)
+        if tenants is not None:
+            merged["tenants"] = tenants
+        return merged
+
+    def _tenant_metrics(self, totals: Dict[str, float]) -> Optional[Dict]:
+        """The ``tenants`` metrics block, or ``None`` without groups."""
+        groups = getattr(self.sharded.config, "tenants", None)
+        if not groups:
+            return None
+        return {"count": len(groups), "query_cycles": dict(totals)}
 
     @staticmethod
     def _merge_metrics(shards: Sequence[Tuple]) -> Dict:
@@ -478,7 +493,11 @@ class ShardedSession:
                        for session, part in zip(self.sessions, parts)]
         for index, (part, record) in enumerate(zip(parts, records)):
             self._prev_load[index] = (len(part), record.total_cycles)
-        return BinRecord.merge(records)
+        merged = BinRecord.merge(records)
+        for tenant, cycles in merged.tenant_cycles.items():
+            self._tenant_cycles[tenant] = \
+                self._tenant_cycles.get(tenant, 0.0) + cycles
+        return merged
 
     def ingest_trace(self, source) -> "ShardedSession":
         """Stream every bin of ``source`` through :meth:`ingest`.
@@ -531,6 +550,10 @@ class ShardedSession:
         self._closed_result = ExecutionResult.merge(
             results, query_classes=self._query_classes, budget=self.budget,
             name=self.name)
+        tenants = self._tenant_metrics(
+            self._closed_result.tenant_cycle_totals())
+        if tenants is not None:
+            self._closed_metrics["tenants"] = tenants
         return self._closed_result
 
     # ------------------------------------------------------------------

@@ -31,12 +31,13 @@ import numpy as np
 
 from ..core.custom import CustomShedEnforcer
 from ..core.cycles import CycleBudget, CycleClock
-from ..core.fairness import QueryDemand
+from ..core.fairness import QueryDemand, QuerySlotTable
 from ..core.features import (FeatureExtractor, FeatureStateRegistry,
                              FeatureVector)
 from ..core.prediction import CyclePredictor, make_predictor
 from ..core.sampling import FlowSampler, PacketSampler
 from ..core.shedding import LoadSheddingController, reactive_rate
+from ..core.tenancy import TenantAssignment, TenantRegistry
 from .capture import CaptureBuffer
 from .config import MODES, MODE_ALIASES, SystemConfig
 from .packet import Batch, PacketTrace, as_trace
@@ -190,6 +191,20 @@ class ExecutionResult:
         return np.array([record.rates.get(query_name, 1.0)
                          for record in self.bins], dtype=np.float64)
 
+    def tenant_cycle_totals(self) -> Dict[str, float]:
+        """Total query cycles accounted per declared tenant.
+
+        Folds the per-bin ``tenant_cycles`` maps across the execution;
+        empty when the system ran without tenant groups.  Survives both
+        merge tiers (shards, fleet) because :meth:`BinRecord.merge` sums
+        tenant cycles additively.
+        """
+        totals: Dict[str, float] = {}
+        for record in self.bins:
+            for tenant, cycles in record.tenant_cycles.items():
+                totals[tenant] = totals.get(tenant, 0.0) + cycles
+        return totals
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"ExecutionResult(mode={self.mode!r}, bins={len(self.bins)}, "
                 f"dropped={self.dropped_packets})")
@@ -209,6 +224,9 @@ class _QueryRuntime:
         self.interval_start: Optional[float] = None
         self.last_prediction = 0.0
         self.seed = seed
+        #: Row of the system's :class:`~repro.core.fairness.QuerySlotTable`
+        #: holding this query's demand columns (set by ``add_query``).
+        self.slot = -1
 
     def reset(self) -> None:
         self.query.reset()
@@ -328,6 +346,13 @@ class MonitoringSystem:
         self.profiler = StageProfiler()
         #: Per-bin data path; replaceable with a custom stage tuple.
         self.pipeline = BinPipeline()
+        #: Columnar per-tenant state + query→tenant membership (queries
+        #: outside declared groups become implicit singleton tenants).
+        self.tenant_registry = TenantRegistry(config.tenants or ())
+        #: Stable per-query demand columns (predicted cycles, effective
+        #: minimum rates, tie-break ranks, tenant slots) maintained across
+        #: bins; the per-bin allocator gathers rows by slot index.
+        self.demand_table = QuerySlotTable()
         self._runtimes: Dict[str, _QueryRuntime] = {}
         self._prev_reactive_rate = 1.0
         self._prev_query_cycles = 0.0
@@ -362,8 +387,17 @@ class MonitoringSystem:
             sampler = PacketSampler(rng=np.random.default_rng(seed))
         query.meter.noise_std = self.measurement_noise
         query.meter.reseed(seed + 1)
-        self._runtimes[query.name] = _QueryRuntime(
+        runtime = _QueryRuntime(
             query, start_time, predictor, extractor, sampler, seed)
+        # Columnar demand state: the query's effective minimum sampling
+        # rate (its own constraint lifted to any declared tenant floor) and
+        # tenant slot live in the slot table from now on.
+        effective_min = max(query.minimum_sampling_rate,
+                            self.tenant_registry.min_rate_for(query.name))
+        runtime.slot = self.demand_table.add(
+            query.name, min_rate=effective_min,
+            tenant_slot=self.tenant_registry.assign(query.name))
+        self._runtimes[query.name] = runtime
 
     def remove_query(self, name: str) -> None:
         """Deregister a query and forget all per-query shedding state.
@@ -376,6 +410,7 @@ class MonitoringSystem:
         runtime = self._runtimes.pop(name, None)
         if runtime is not None:
             runtime.extractor.release()
+        self.demand_table.remove(name)
         self.enforcer.reset(name)
         self.controller.forget_query(name)
 
@@ -499,21 +534,40 @@ class MonitoringSystem:
         return cached
 
     # ------------------------------------------------------------------
-    def _decide_rates(self, active: List[_QueryRuntime],
-                      demands: List[QueryDemand], clock: CycleClock,
-                      como: float, batch: Batch) -> Dict[str, float]:
-        names = [runtime.query.name for runtime in active]
+    def _decide_rates(self, ctx) -> Dict[str, float]:
+        """Per-query sampling rates for the bin described by ``ctx``.
+
+        Predictive mode gathers the demand columns straight from the slot
+        table by the rows the prediction stage refreshed (``demand_slots``)
+        — no per-bin objects.  Custom pipelines that filled ``ctx.demands``
+        instead (or skipped prediction entirely) fall back to the classic
+        :class:`QueryDemand` path.
+        """
+        names = [runtime.query.name for runtime in ctx.active]
+        clock = ctx.clock
         if self.mode in ("original", "reference"):
             return {name: 1.0 for name in names}
         if self.mode == "reactive":
             rate = reactive_rate(self._prev_reactive_rate,
                                  self._prev_query_cycles,
-                                 clock.per_bin_budget - como,
+                                 clock.per_bin_budget - ctx.como,
                                  clock.delay,
                                  min_rate=self.reactive_min_rate)
             return {name: rate for name in names}
-        plan = self.controller.plan(demands, clock.per_bin_budget,
-                                    clock.overhead_so_far(), clock.delay)
+        slots = ctx.demand_slots
+        if slots is None or ctx.demands:
+            plan = self.controller.plan(ctx.demands, clock.per_bin_budget,
+                                        clock.overhead_so_far(), clock.delay)
+            return dict(plan.rates)
+        table = self.demand_table
+        tenants = None
+        if self.tenant_registry.declared:
+            tenants = TenantAssignment(self.tenant_registry,
+                                       table.tenant_slot[slots])
+        plan = self.controller.plan_arrays(
+            names, table.predicted[slots], table.min_rate[slots],
+            clock.per_bin_budget, clock.overhead_so_far(), clock.delay,
+            tenants=tenants, rank=table.name_rank[slots])
         return dict(plan.rates)
 
     def _run_sampled(self, runtime: _QueryRuntime, sub_batch: Batch,
